@@ -1,0 +1,352 @@
+package biscatter
+
+// One benchmark per paper table/figure (see DESIGN.md §4 for the index).
+// Each bench regenerates its artifact at reduced statistical scale and
+// reports the headline metric via b.ReportMetric, so `go test -bench=.`
+// doubles as a quick reproduction run. Use cmd/biscatter-sim for full-scale
+// regeneration.
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/core"
+	"biscatter/internal/delayline"
+	"biscatter/internal/eval"
+	"biscatter/internal/radar"
+	"biscatter/internal/tag"
+)
+
+// benchOpts keeps per-iteration cost low; benches measure shape, not
+// publication statistics.
+var benchOpts = eval.Options{Frames: 10, Trials: 3, Seed: 1}
+
+func runExperiment(b *testing.B, id string) *eval.Result {
+	b.Helper()
+	run, ok := eval.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var res *eval.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// cell parses a numeric table cell ("<1.0e-3" floors count as their bound).
+func cell(b *testing.B, res *eval.Result, table, row, col int) float64 {
+	b.Helper()
+	c := strings.TrimPrefix(res.Tables[table].Rows[row][col], "<")
+	c = strings.Fields(c)[0]
+	v, err := strconv.ParseFloat(c, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", c, err)
+	}
+	return v
+}
+
+func BenchmarkFig5BeatFrequency(b *testing.B) {
+	res := runExperiment(b, "fig5")
+	// Report the worst per-point deviation from Eq. 11 (percent).
+	worst := 0.0
+	for r := range res.Tables[0].Rows {
+		worst = math.Max(worst, math.Abs(cell(b, res, 0, r, 4)))
+	}
+	b.ReportMetric(worst, "max-eq11-error-%")
+}
+
+func BenchmarkFig6WindowAlignment(b *testing.B) {
+	res := runExperiment(b, "fig6")
+	b.ReportMetric(cell(b, res, 0, 2, 2), "aligned-window-error-kHz")
+	b.ReportMetric(cell(b, res, 0, 1, 2), "misaligned-window-error-kHz")
+}
+
+func BenchmarkFig7IFCorrection(b *testing.B) {
+	res := runExperiment(b, "fig7")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for r := range res.Tables[0].Rows {
+		v := cell(b, res, 0, r, 4)
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	b.ReportMetric((hi-lo)*100, "corrected-spread-cm")
+}
+
+func BenchmarkFig10n11DelayLine(b *testing.B) {
+	res := runExperiment(b, "fig10_11")
+	mid := len(res.Tables[0].Rows) / 2
+	b.ReportMetric(cell(b, res, 0, mid, 3), "delta-T-ns")
+	b.ReportMetric(cell(b, res, 0, mid, 1), "S11-dB")
+}
+
+func BenchmarkTable1Capabilities(b *testing.B) {
+	res := runExperiment(b, "tab1")
+	full := 0.0
+	for _, row := range res.Tables[0].Rows {
+		all := true
+		for _, c := range row[1:6] {
+			if c != "yes" {
+				all = false
+			}
+		}
+		if all {
+			full++
+		}
+	}
+	b.ReportMetric(full, "systems-with-all-capabilities")
+}
+
+func BenchmarkPowerBudget(b *testing.B) {
+	runExperiment(b, "power")
+	p := tag.DefaultPowerModel()
+	b.ReportMetric(p.Continuous()*1e3, "continuous-mW")
+	b.ReportMetric(p.CustomIC()*1e3, "custom-ic-mW")
+}
+
+func BenchmarkDataRate(b *testing.B) {
+	runExperiment(b, "rate")
+	b.ReportMetric(10.0/100e-6/1e3, "10bit-100us-kbps")
+}
+
+func BenchmarkFig12BERvsSymbolSize(b *testing.B) {
+	res := runExperiment(b, "fig12")
+	// 5 bits at 1 GHz is the paper's headline (<1e-3).
+	b.ReportMetric(cell(b, res, 0, 4, 3), "ber-5bit-1GHz")
+	b.ReportMetric(cell(b, res, 0, 4, 1), "ber-5bit-250MHz")
+}
+
+func BenchmarkFig13BERvsDistance(b *testing.B) {
+	res := runExperiment(b, "fig13")
+	// 5-bit column at 7 m.
+	b.ReportMetric(cell(b, res, 0, 7, 3), "ber-5bit-7m")
+	b.ReportMetric(cell(b, res, 0, 7, 1), "snr-7m-dB")
+}
+
+func BenchmarkFig14BERvsDeltaL(b *testing.B) {
+	res := runExperiment(b, "fig14")
+	// At 16 dB: 18-inch vs 45-inch lines.
+	b.ReportMetric(cell(b, res, 0, 2, 1), "ber-18in-16dB")
+	b.ReportMetric(cell(b, res, 0, 2, 3), "ber-45in-16dB")
+}
+
+func BenchmarkFig15UplinkSNR(b *testing.B) {
+	res := runExperiment(b, "fig15")
+	b.ReportMetric(cell(b, res, 0, 0, 3), "signature-snr-0.5m-dB")
+	b.ReportMetric(cell(b, res, 0, 6, 3), "signature-snr-7m-dB")
+}
+
+func BenchmarkFig16Localization(b *testing.B) {
+	res := runExperiment(b, "fig16")
+	var sSum, cSum float64
+	n := float64(len(res.Tables[0].Rows))
+	for r := range res.Tables[0].Rows {
+		sSum += cell(b, res, 0, r, 1)
+		cSum += cell(b, res, 0, r, 2)
+	}
+	b.ReportMetric(sSum/n, "sensing-only-mean-cm")
+	b.ReportMetric(cSum/n, "integrated-comm-mean-cm")
+}
+
+func BenchmarkFig17CrossBand(b *testing.B) {
+	res := runExperiment(b, "fig17")
+	b.ReportMetric(cell(b, res, 0, 1, 1), "ber-9GHz-20dB")
+	b.ReportMetric(cell(b, res, 0, 1, 2), "ber-24GHz-20dB")
+}
+
+func BenchmarkExtensions(b *testing.B) {
+	res := runExperiment(b, "ext")
+	// MSCK's 4×8 configuration vs CSSK's 41.7 kbit/s baseline.
+	b.ReportMetric(cell(b, res, 0, 2, 2), "msck-4x8-kbps")
+	b.ReportMetric(cell(b, res, 0, 0, 2), "cssk-5bit-kbps")
+}
+
+// Ablation benches: the design choices DESIGN.md §6 calls out.
+
+func BenchmarkAblationGoertzelVsFFT(b *testing.B) {
+	var gRate, fRate float64
+	for i := 0; i < b.N; i++ {
+		g, err := eval.DownlinkBER(eval.DownlinkSetup{SymbolBits: 5, Method: tag.MethodGoertzel}, 16, 10, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := eval.DownlinkBER(eval.DownlinkSetup{SymbolBits: 5, Method: tag.MethodFFT}, 16, 10, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gRate, fRate = g.FloorRate(), f.FloorRate()
+	}
+	b.ReportMetric(gRate, "goertzel-ber")
+	b.ReportMetric(fRate, "fft-ber")
+}
+
+func BenchmarkAblationRetroReflector(b *testing.B) {
+	link := channel.DefaultLink()
+	flat := link
+	flat.TagRetroGainDBi = 0
+	var diff float64
+	for i := 0; i < b.N; i++ {
+		diff = link.UplinkRxPowerDBm(5) - flat.UplinkRxPowerDBm(5)
+	}
+	b.ReportMetric(diff, "retro-gain-dB")
+}
+
+func BenchmarkAblationBackgroundSubtraction(b *testing.B) {
+	var withSNR, withoutRange float64
+	for i := 0; i < b.N; i++ {
+		n, err := core.NewNetwork(core.Config{
+			Nodes: []core.NodeConfig{{ID: 1, Range: 3.7}},
+			Seed:  9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame, err := n.BuildSensingFrame(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states, err := n.Nodes()[0].Tag.UplinkStates(nil, n.Config().Period, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scene := radar.Scene{
+			Clutter: channel.OfficeClutter(),
+			Tags: []radar.TagEcho{{
+				Range: 3.7, States: states,
+				PowerDBm: n.Link().UplinkRxPowerDBm(3.7),
+			}},
+		}
+		capt := n.Radar().Observe(frame, scene)
+		cm, grid := n.Radar().CorrectedMatrix(capt)
+		f0 := n.Nodes()[0].Uplink.F0
+		det, err := n.Radar().DetectTag(radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm)), grid, f0, n.Config().Period)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withSNR = det.SNRdB
+		if det2, err := n.Radar().DetectTag(radar.MagnitudeMatrix(cm), grid, f0, n.Config().Period); err == nil {
+			withoutRange = det2.Range
+		}
+	}
+	b.ReportMetric(withSNR, "with-subtraction-snr-dB")
+	b.ReportMetric(withoutRange, "without-subtraction-locked-range-m")
+}
+
+func BenchmarkAblationSyncTolerance(b *testing.B) {
+	// How much of the header can be missed before the packet is lost: wake
+	// the tag progressively later into the preamble.
+	pair, err := delayline.NewCoaxPair(45*delayline.MetersPerInch, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = pair
+	var maxSkip float64
+	for i := 0; i < b.N; i++ {
+		n, err := core.NewNetwork(core.Config{
+			Nodes: []core.NodeConfig{{ID: 1, Range: 2.6}},
+			Seed:  10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := []byte{0xA5, 0x5A}
+		frame, err := n.BuildDownlinkFrame(payload, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		node := n.Nodes()[0]
+		snr := n.Link().DownlinkSNRdB(2.6)
+		maxSkip = 0
+		for skip := 0.0; skip < 5; skip += 0.5 {
+			x := node.Tag.FrontEnd.Capture(frame, snr, skip*n.Config().Period, 0)
+			got, _, err := node.Tag.Decoder.DecodePacket(x, n.Packet())
+			if err != nil || string(got) != string(payload) {
+				break
+			}
+			maxSkip = skip
+		}
+	}
+	b.ReportMetric(maxSkip, "max-header-chirps-skippable")
+}
+
+// Micro-benchmarks of the hot paths behind the experiments.
+
+func BenchmarkEndToEndExchange(b *testing.B) {
+	n, err := core.NewNetwork(core.Config{
+		Nodes: []core.NodeConfig{{ID: 1, Range: 2.6}},
+		Seed:  11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("benchmark")
+	up := map[int][]bool{0: {true, false, true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Exchange(payload, up); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTagDecodeFrame(b *testing.B) {
+	n, err := core.NewNetwork(core.Config{
+		Nodes: []core.NodeConfig{{ID: 1, Range: 2.6}},
+		Seed:  12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := n.BuildDownlinkFrame([]byte("decode cost"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := n.Nodes()[0]
+	x := node.Tag.FrontEnd.CaptureFrame(frame, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := node.Tag.Decoder.DecodeFrame(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRadarProcessFrame(b *testing.B) {
+	n, err := core.NewNetwork(core.Config{
+		Nodes: []core.NodeConfig{{ID: 1, Range: 2.6}},
+		Seed:  13,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := n.BuildSensingFrame(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states, err := n.Nodes()[0].Tag.UplinkStates(nil, n.Config().Period, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scene := radar.Scene{
+		Clutter: channel.OfficeClutter(),
+		Tags: []radar.TagEcho{{
+			Range: 2.6, States: states,
+			PowerDBm: n.Link().UplinkRxPowerDBm(2.6),
+		}},
+	}
+	capt := n.Radar().Observe(frame, scene)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm, grid := n.Radar().CorrectedMatrix(capt)
+		matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
+		if _, err := n.Radar().DetectTag(matrix, grid, n.Nodes()[0].Uplink.F0, n.Config().Period); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

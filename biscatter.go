@@ -1,0 +1,92 @@
+// Package biscatter is a simulation-backed implementation of BiScatter
+// (SIGCOMM 2024): integrated two-way radar backscatter communication and
+// sensing between an off-the-shelf FMCW radar and low-power IoT tags.
+//
+// The radar access point encodes downlink bits into chirp slopes
+// (Chirp-Slope-Shift Keying) while continuing to sense; tags decode the
+// slopes with a passive differential delay-line circuit sampled by a kHz
+// ADC, and answer by modulating their Van Atta retro-reflection; the radar
+// simultaneously localizes every tag to centimeter level and demodulates
+// its uplink.
+//
+// The package is a facade over the internal subsystems. The typical flow:
+//
+//	net, err := biscatter.NewNetwork(biscatter.Config{
+//	    Nodes: []biscatter.NodeConfig{{ID: 1, Range: 3.0}},
+//	})
+//	res, err := net.Exchange([]byte("hello tag"), map[int][]bool{0: {true, false}})
+//
+// Exchange transmits one CSSK frame carrying the payload, lets every node
+// decode it at its own link SNR, collects the nodes' backscatter, and
+// returns per-node downlink payloads, localization fixes and uplink bits.
+//
+// All randomness is seeded, so every run is reproducible. See DESIGN.md for
+// the architecture and EXPERIMENTS.md for the paper-reproduction results.
+package biscatter
+
+import (
+	"biscatter/internal/channel"
+	"biscatter/internal/core"
+	"biscatter/internal/fmcw"
+	"biscatter/internal/radar"
+	"biscatter/internal/tag"
+)
+
+// Re-exported configuration and result types. The aliases share identity
+// with the internal types, so advanced users can drop down to the internal
+// packages without conversions.
+type (
+	// Config assembles a Network; zero values select the paper's 9 GHz
+	// defaults.
+	Config = core.Config
+	// NodeConfig places one backscatter node.
+	NodeConfig = core.NodeConfig
+	// Network is a radar access point plus its backscatter nodes.
+	Network = core.Network
+	// Node is a deployed backscatter node.
+	Node = core.Node
+	// ExchangeResult is the outcome of one integrated ISAC round.
+	ExchangeResult = core.ExchangeResult
+	// NodeResult is one node's slice of an ExchangeResult.
+	NodeResult = core.NodeResult
+	// Detection is a localization fix.
+	Detection = radar.Detection
+	// MapTarget is a static object in the radar's environment map.
+	MapTarget = radar.MapTarget
+	// Link is the radio link budget.
+	Link = channel.Link
+	// Preset is a radar platform configuration.
+	Preset = fmcw.Preset
+	// PowerModel is the tag power budget of §4.1.
+	PowerModel = tag.PowerModel
+)
+
+// NewNetwork builds a network from the configuration. At least one node is
+// required; everything else has calibrated defaults.
+func NewNetwork(cfg Config) (*Network, error) {
+	return core.NewNetwork(cfg)
+}
+
+// Radar9GHz returns the paper's sub-10 GHz platform preset (1 GHz
+// bandwidth).
+func Radar9GHz() Preset { return fmcw.Radar9GHz() }
+
+// Radar24GHz returns the paper's mmWave platform preset (ADI TinyRad-like,
+// 250 MHz bandwidth).
+func Radar24GHz() Preset { return fmcw.Radar24GHz() }
+
+// DefaultLink returns the link budget calibrated to the paper's 9 GHz
+// prototype.
+func DefaultLink() Link { return channel.DefaultLink() }
+
+// DefaultPowerModel returns the §4.1 component power figures.
+func DefaultPowerModel() PowerModel { return tag.DefaultPowerModel() }
+
+// RandomPayload generates a deterministic pseudo-random payload for
+// experiments.
+func RandomPayload(seed int64, n int) []byte { return core.RandomPayload(seed, n) }
+
+// CountBitErrors compares two payloads bit by bit.
+func CountBitErrors(sent, got []byte) (errs, total int) {
+	return core.CountBitErrors(sent, got)
+}

@@ -1,0 +1,88 @@
+// Command biscatter-sim regenerates the paper's tables and figures from the
+// simulation. Each experiment ID corresponds to one paper artifact (see
+// DESIGN.md §4 for the index):
+//
+//	biscatter-sim                      # run everything
+//	biscatter-sim fig12 fig13         # run selected experiments
+//	biscatter-sim -frames 500 fig12   # more statistics per point
+//	biscatter-sim -csv out/ all       # also write CSV files
+//	biscatter-sim -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"biscatter/internal/eval"
+)
+
+func main() {
+	frames := flag.Int("frames", 0, "frames per BER point (0 = default 40; the paper uses 10000)")
+	trials := flag.Int("trials", 0, "trials per localization/SNR point (0 = default 8)")
+	seed := flag.Int64("seed", 1, "root random seed")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range eval.Registry {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = nil
+		for _, e := range eval.Registry {
+			ids = append(ids, e.ID)
+		}
+	}
+	opts := eval.Options{Frames: *frames, Trials: *trials, Seed: *seed}
+
+	exit := 0
+	for _, id := range ids {
+		run, ok := eval.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			exit = 2
+			continue
+		}
+		start := time.Now()
+		res, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: csv: %v\n", id, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func writeCSV(dir string, res *eval.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range res.Tables {
+		name := res.ID
+		if len(res.Tables) > 1 {
+			name = fmt.Sprintf("%s_%d", res.ID, i)
+		}
+		path := filepath.Join(dir, name+".csv")
+		if err := os.WriteFile(path, []byte(res.Tables[i].CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

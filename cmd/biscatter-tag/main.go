@@ -1,0 +1,169 @@
+// Command biscatter-tag runs a BiScatter backscatter node as a standalone
+// process. It listens for FrameDescriptor messages from a biscatter-radar
+// process, derives the envelope-detector observation its hardware would see,
+// decodes the downlink packet, and answers with a TagReport plus its uplink
+// ModulationPlan. Commands received over the downlink (OpSetModulation)
+// retune its uplink tones — the write access that two-way backscatter
+// enables.
+//
+//	biscatter-tag -listen 127.0.0.1:7001 -id 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"path/filepath"
+
+	"biscatter/internal/core"
+	"biscatter/internal/fmcw"
+	"biscatter/internal/netio"
+	"biscatter/internal/trace"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "UDP address to listen on")
+	id := flag.Int("id", 1, "tag ID")
+	bits := flag.Int("bits", 5, "CSSK symbol size (must match the radar)")
+	seed := flag.Int64("seed", 7, "noise seed")
+	uplink := flag.String("uplink", "telemetry", "uplink message (its bytes become uplink bits)")
+	rounds := flag.Int("rounds", 0, "exit after this many frames (0 = run forever)")
+	record := flag.String("record", "", "directory to record envelope captures into (trace files)")
+	flag.Parse()
+
+	if err := run(*listen, uint8(*id), *bits, *seed, *uplink, *rounds, *record); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(listen string, id uint8, bits int, seed int64, uplink string, rounds int, record string) error {
+	// Build the same network stack the radar uses; only the tag half is
+	// exercised here. The placement range is irrelevant for the tag process
+	// (the radar owns the channel model).
+	netw, err := core.NewNetwork(core.Config{
+		Nodes:      []core.NodeConfig{{ID: id, Range: 1}},
+		SymbolBits: bits,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	node := netw.Nodes()[0]
+
+	conn, err := netio.Listen(listen)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	log.Printf("tag %d listening on %v (symbol size %d bits)", id, conn.Addr(), bits)
+
+	uplinkBits := bytesToBits([]byte(uplink))
+	f0, f1 := node.Uplink.F0, node.Uplink.F1
+
+	for round := 0; rounds == 0 || round < rounds; round++ {
+		msg, from, err := conn.Recv(0)
+		if err != nil {
+			log.Printf("recv: %v", err)
+			continue
+		}
+		switch m := msg.(type) {
+		case *netio.FrameDescriptor:
+			if err := handleFrame(conn, from, netw, node, m, uplinkBits, f0, f1, record); err != nil {
+				log.Printf("frame %d: %v", m.Sequence, err)
+			}
+		case *netio.Command:
+			if m.TagID != id && m.TagID != netio.BroadcastID {
+				continue
+			}
+			if m.Op == netio.OpSetModulation {
+				f0, f1 = m.Arg0, m.Arg1
+				log.Printf("retuned uplink to F0=%.0f Hz F1=%.0f Hz", f0, f1)
+			}
+		default:
+			log.Printf("unexpected message %v from %v", msg.Type(), from)
+		}
+	}
+	return nil
+}
+
+func handleFrame(conn *netio.Node, from *net.UDPAddr, netw *core.Network,
+	node *core.Node, m *netio.FrameDescriptor, uplinkBits []bool, f0, f1 float64, record string) error {
+
+	base := fmcw.ChirpParams{
+		StartFrequency: m.StartFrequency,
+		Bandwidth:      m.Bandwidth,
+		SampleRate:     m.SampleRate,
+		Duration:       m.Period / 2,
+	}
+	builder, err := fmcw.NewFrameBuilder(base, m.Period)
+	if err != nil {
+		return err
+	}
+	frame, err := builder.Build(m.Durations)
+	if err != nil {
+		return err
+	}
+	x := node.Tag.FrontEnd.CaptureFrame(frame, m.DownlinkSNRdB)
+	if record != "" {
+		path := filepath.Join(record, fmt.Sprintf("frame%04d.bsct", m.Sequence))
+		err := trace.SaveEnvelope(path, &trace.EnvelopeCapture{
+			SampleRate:      node.Tag.FrontEnd.SampleRate,
+			CenterFrequency: node.Tag.FrontEnd.CenterFrequency,
+			Period:          m.Period,
+			SNRdB:           m.DownlinkSNRdB,
+			Samples:         x,
+			Meta:            map[string]string{"tag": fmt.Sprint(node.Tag.ID)},
+		})
+		if err != nil {
+			log.Printf("frame %d: record: %v", m.Sequence, err)
+		}
+	}
+	payload, diag, derr := node.Tag.Decoder.DecodePacket(x, netw.Packet())
+	report := &netio.TagReport{
+		Sequence:      m.Sequence,
+		TagID:         node.Tag.ID,
+		PeriodSamples: diag.PeriodSamples,
+	}
+	switch {
+	case derr == nil:
+		report.Status = netio.StatusOK
+		report.Payload = payload
+		log.Printf("frame %d: decoded %q (period %.2f samples)", m.Sequence, payload, diag.PeriodSamples)
+		// Downlink commands are applied before replying.
+		if cmd, err := netio.DecodeCommand(payload); err == nil && cmd.Op == netio.OpSetModulation &&
+			(cmd.TagID == node.Tag.ID || cmd.TagID == netio.BroadcastID) {
+			log.Printf("frame %d: downlink command retunes F0 to %.0f Hz", m.Sequence, cmd.Arg0)
+		}
+	case diag.PeriodSamples == 0:
+		report.Status = netio.StatusNoSignal
+	default:
+		report.Status = netio.StatusBadCRC
+		log.Printf("frame %d: decode failed: %v", m.Sequence, derr)
+	}
+	if err := conn.Send(from, report); err != nil {
+		return err
+	}
+	plan := &netio.ModulationPlan{
+		Sequence:     m.Sequence,
+		TagID:        node.Tag.ID,
+		F0:           f0,
+		F1:           f1,
+		ChirpsPerBit: uint16(node.Uplink.ChirpsPerBit),
+	}
+	plan.SetBits(uplinkBits)
+	return conn.Send(from, plan)
+}
+
+func bytesToBits(data []byte) []bool {
+	out := make([]bool, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, b&(1<<uint(i)) != 0)
+		}
+	}
+	if len(out) > 8 {
+		out = out[:8] // keep the demo frame length manageable
+	}
+	return out
+}

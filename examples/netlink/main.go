@@ -1,0 +1,162 @@
+// Netlink: the radar access point and the tag as two independent endpoints
+// exchanging the netio wire protocol over loopback UDP — the same protocol
+// the biscatter-radar and biscatter-tag commands speak, here run in two
+// goroutines so the example is self-contained.
+//
+//	go run ./examples/netlink
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"biscatter"
+	"biscatter/internal/netio"
+	"biscatter/internal/radar"
+)
+
+const tagRange = 2.6
+
+func main() {
+	tagConn, err := netio.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tagConn.Close()
+	radarConn, err := netio.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer radarConn.Close()
+
+	done := make(chan struct{})
+	go tagProcess(tagConn, done)
+
+	if err := radarProcess(radarConn, tagConn.Addr()); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// tagProcess is the backscatter node endpoint.
+func tagProcess(conn *netio.Node, done chan<- struct{}) {
+	defer close(done)
+	netw, err := biscatter.NewNetwork(biscatter.Config{
+		Nodes: []biscatter.NodeConfig{{ID: 1, Range: tagRange}},
+		Seed:  5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := netw.Nodes()[0]
+	msg, from, err := conn.Recv(5 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fd := msg.(*netio.FrameDescriptor)
+	frame, err := netw.Builder().Build(fd.Durations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, _, derr := node.Tag.ReceiveDownlink(frame, fd.DownlinkSNRdB, netw.Packet())
+	report := &netio.TagReport{Sequence: fd.Sequence, TagID: 1, Status: netio.StatusOK, Payload: payload}
+	if derr != nil {
+		report.Status = netio.StatusBadCRC
+	}
+	if err := conn.Send(from, report); err != nil {
+		log.Fatal(err)
+	}
+	plan := &netio.ModulationPlan{
+		Sequence: fd.Sequence, TagID: 1,
+		F0: node.Uplink.F0, F1: node.Uplink.F1,
+		ChirpsPerBit: uint16(node.Uplink.ChirpsPerBit),
+	}
+	plan.SetBits([]bool{true, false, true, true})
+	if err := conn.Send(from, plan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tag: decoded %q over UDP-announced frame, replied with modulation plan\n", payload)
+}
+
+// radarProcess is the access-point endpoint.
+func radarProcess(conn *netio.Node, tagAddr *net.UDPAddr) error {
+	netw, err := biscatter.NewNetwork(biscatter.Config{
+		Nodes: []biscatter.NodeConfig{{ID: 1, Range: tagRange}},
+		Seed:  5,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := netw.Config()
+	frame, err := netw.BuildDownlinkFrame([]byte("over the wire"), 4*cfg.ChirpsPerBit)
+	if err != nil {
+		return err
+	}
+	durs := make([]float64, len(frame.Chirps))
+	for i, c := range frame.Chirps {
+		durs[i] = c.Params.Duration
+	}
+	err = conn.Send(tagAddr, &netio.FrameDescriptor{
+		Sequence:       1,
+		StartFrequency: cfg.Preset.Chirp.StartFrequency,
+		Bandwidth:      cfg.Preset.Chirp.Bandwidth,
+		SampleRate:     cfg.Preset.Chirp.SampleRate,
+		Period:         cfg.Period,
+		DownlinkSNRdB:  netw.Link().DownlinkSNRdB(tagRange),
+		Durations:      durs,
+	})
+	if err != nil {
+		return err
+	}
+	var plan *netio.ModulationPlan
+	var report *netio.TagReport
+	for plan == nil || report == nil {
+		msg, _, err := conn.Recv(5 * time.Second)
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *netio.ModulationPlan:
+			plan = m
+		case *netio.TagReport:
+			report = m
+		}
+	}
+	fmt.Printf("radar: tag report %v (payload %q)\n", report.Status, report.Payload)
+
+	// Observe the backscatter the plan describes and decode it.
+	node := netw.Nodes()[0]
+	states, err := node.Tag.UplinkStates(plan.GetBits(), cfg.Period, len(frame.Chirps))
+	if err != nil {
+		return err
+	}
+	scene := radar.Scene{
+		Clutter: cfg.Clutter,
+		Tags: []radar.TagEcho{{
+			Range:    tagRange,
+			States:   states,
+			PowerDBm: netw.Link().UplinkRxPowerDBm(tagRange),
+		}},
+	}
+	capt := netw.Radar().Observe(frame, scene)
+	cm, grid := netw.Radar().CorrectedMatrix(capt)
+	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
+	det, err := netw.Radar().DetectTag(matrix, grid, plan.F0, cfg.Period)
+	if err != nil {
+		return err
+	}
+	bits, err := netw.Radar().DecodeUplinkFSK(matrix, det.Bin, radar.UplinkFSKConfig{
+		F0: plan.F0, F1: plan.F1, ChirpsPerBit: int(plan.ChirpsPerBit), Period: cfg.Period,
+	})
+	if err != nil {
+		return err
+	}
+	if len(bits) > int(plan.BitCount) {
+		bits = bits[:plan.BitCount]
+	}
+	fmt.Printf("radar: tag at %.3f m (error %.1f cm), uplink bits %v\n",
+		det.Range, (det.Range-tagRange)*100, bits)
+	return nil
+}

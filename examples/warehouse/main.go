@@ -1,0 +1,80 @@
+// Warehouse: the paper's motivating scenario (§1, Fig. 1) — a radar-equipped
+// drone in a warehouse uses its FMCW radar for sensing while simultaneously
+// taking inventory of passive asset tags and broadcasting commands to them.
+//
+// Three tags with unique modulation frequencies are deployed among shelving
+// clutter. Each round the drone broadcasts an inventory request, localizes
+// every tag by its backscatter signature, and collects each tag's status
+// bits — without ever interrupting the radar's sensing chirps.
+//
+//	go run ./examples/warehouse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biscatter"
+	"biscatter/internal/channel"
+)
+
+func main() {
+	// Shelving and walls: a multipath-rich indoor scene.
+	shelves := []channel.Reflector{
+		{Range: 1.5, RCSdBsm: -4},
+		{Range: 3.2, RCSdBsm: 1},
+		{Range: 4.8, RCSdBsm: -6},
+		{Range: 6.5, RCSdBsm: 0},
+	}
+	net, err := biscatter.NewNetwork(biscatter.Config{
+		Nodes: []biscatter.NodeConfig{
+			{ID: 1, Range: 2.1}, // pallet A
+			{ID: 2, Range: 4.0}, // pallet B
+			{ID: 3, Range: 5.7}, // pallet C
+		},
+		Clutter: shelves,
+		Seed:    7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("warehouse inventory round: broadcasting status request to 3 tags")
+	// Per-tag status words (e.g. battery/sensor flags).
+	status := map[int][]bool{
+		0: {true, true, false, false},
+		1: {false, true, true, false},
+		2: {true, false, false, true},
+	}
+	res, err := net.Exchange([]byte("INVENTORY?"), status)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := []float64{2.1, 4.0, 5.7}
+	for i, node := range res.Nodes {
+		fmt.Printf("\ntag %d (true range %.1f m):\n", i+1, truth[i])
+		if node.DownlinkErr != nil {
+			fmt.Printf("  downlink: FAILED (%v)\n", node.DownlinkErr)
+		} else {
+			fmt.Printf("  downlink: received %q\n", node.DownlinkPayload)
+		}
+		if node.DetectionErr != nil {
+			fmt.Printf("  localization: FAILED (%v)\n", node.DetectionErr)
+			continue
+		}
+		fmt.Printf("  localization: %.3f m (error %.1f cm, SNR %.1f dB)\n",
+			node.Detection.Range, (node.Detection.Range-truth[i])*100, node.Detection.SNRdB)
+		fmt.Printf("  uplink status: %v (sent %v)\n", node.UplinkBits, status[i])
+	}
+	fmt.Println("\nsensing ran on every chirp — communication cost zero radar frames")
+
+	// The drone's obstacle map, produced by the same radar frames.
+	targets, err := net.MapEnvironment(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nradar environment map (CFAR detections):")
+	for _, tgt := range targets {
+		fmt.Printf("  object at %.2f m (%.0f dBm)\n", tgt.Range, tgt.PowerDBm)
+	}
+}

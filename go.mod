@@ -1,0 +1,3 @@
+module biscatter
+
+go 1.22

@@ -1,0 +1,240 @@
+// Package baseline implements the comparison systems of Table 1 —
+// Millimetro, mmTag and MilBack — to the level needed to reproduce the
+// paper's qualitative capability matrix and the quantitative costs the
+// paper argues about: MilBack's handshake overhead and its loss of sensing
+// duty cycle from time-slicing two independent waveforms.
+//
+// Each baseline reuses the same substrates (radar, channel, tag hardware
+// models) so that differences in the comparison reflect protocol design, not
+// simulation artifacts.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/dsp"
+)
+
+// Capabilities is one row of Table 1.
+type Capabilities struct {
+	// Name identifies the system.
+	Name string
+	// Uplink: tag → radar data.
+	Uplink bool
+	// Downlink: radar → tag data.
+	Downlink bool
+	// Localization: the radar can localize the tag.
+	Localization bool
+	// IntegratedISAC: sensing and two-way communication run simultaneously
+	// on one waveform, transparent to each other.
+	IntegratedISAC bool
+	// CommodityRadar: works with off-the-shelf FMCW radars.
+	CommodityRadar bool
+}
+
+// System is a comparable radar-backscatter system.
+type System interface {
+	// Capabilities returns the system's Table-1 row.
+	Capabilities() Capabilities
+	// SensingDutyCycle returns the fraction of air time available to radar
+	// sensing while communication is active (1.0 = fully integrated).
+	SensingDutyCycle() float64
+	// SetupFrames returns how many radar frames must be spent before the
+	// first data bit can flow (handshaking/alignment overhead).
+	SetupFrames() int
+}
+
+// Millimetro models the localization-only retro-reflective tag system
+// (Soltanaghaei et al., MobiCom'21): tags are read-only fiducial markers
+// identified and localized by their fixed modulation frequency.
+type Millimetro struct{}
+
+// Capabilities implements System.
+func (Millimetro) Capabilities() Capabilities {
+	return Capabilities{
+		Name:           "Millimetro",
+		Uplink:         false,
+		Downlink:       false,
+		Localization:   true,
+		IntegratedISAC: false,
+		CommodityRadar: true,
+	}
+}
+
+// SensingDutyCycle implements System: there is no communication, so sensing
+// always runs.
+func (Millimetro) SensingDutyCycle() float64 { return 1.0 }
+
+// SetupFrames implements System.
+func (Millimetro) SetupFrames() int { return 0 }
+
+// MmTag models the uplink-only mmWave backscatter network (Mazaheri et al.,
+// SIGCOMM'21): tags modulate reflections to carry data to the radar, but the
+// radar has no write access and the design does not target localization.
+type MmTag struct{}
+
+// Capabilities implements System.
+func (MmTag) Capabilities() Capabilities {
+	return Capabilities{
+		Name:           "mmTag",
+		Uplink:         true,
+		Downlink:       false,
+		Localization:   false,
+		IntegratedISAC: false,
+		CommodityRadar: true,
+	}
+}
+
+// SensingDutyCycle implements System: mmTag repurposes the radar waveform as
+// a carrier; the radar is not simultaneously used for sensing.
+func (MmTag) SensingDutyCycle() float64 { return 0 }
+
+// SetupFrames implements System.
+func (MmTag) SetupFrames() int { return 0 }
+
+// MilBack models the two-way mmWave backscatter system of Lu et al.
+// (SIGCOMM'23): a custom access point alternates between a two-tone downlink
+// waveform and triangular FMCW sensing, and must first scan the tag's
+// frequency-scanning antenna (FSA) to estimate its orientation before any
+// communication.
+type MilBack struct {
+	// ScanSteps is the number of FSA beam positions probed during the
+	// orientation handshake (one frame per step).
+	ScanSteps int
+	// CommFraction is the fraction of air time given to the two-tone
+	// communication waveform; the remainder carries FMCW sensing.
+	CommFraction float64
+}
+
+// NewMilBack returns a MilBack model with the default handshake and
+// time-division settings (a 16-position scan, even comm/sensing split).
+func NewMilBack() MilBack {
+	return MilBack{ScanSteps: 16, CommFraction: 0.5}
+}
+
+// Capabilities implements System.
+func (MilBack) Capabilities() Capabilities {
+	return Capabilities{
+		Name:           "MilBack",
+		Uplink:         true,
+		Downlink:       true,
+		Localization:   true,
+		IntegratedISAC: false, // two independent waveforms, time-sliced
+		CommodityRadar: false, // custom-built access point
+	}
+}
+
+// SensingDutyCycle implements System: while the two-tone downlink is on air
+// the radar cannot chirp, so sensing only runs in the FMCW slices.
+func (m MilBack) SensingDutyCycle() float64 {
+	return 1 - m.CommFraction
+}
+
+// SetupFrames implements System: one frame per FSA scan position before the
+// link is usable.
+func (m MilBack) SetupFrames() int { return m.ScanSteps }
+
+// BiScatter is this paper's system, for the comparison table. The live
+// implementation is internal/core; this type only carries the Table-1 row.
+type BiScatter struct{}
+
+// Capabilities implements System.
+func (BiScatter) Capabilities() Capabilities {
+	return Capabilities{
+		Name:           "BiScatter",
+		Uplink:         true,
+		Downlink:       true,
+		Localization:   true,
+		IntegratedISAC: true,
+		CommodityRadar: true,
+	}
+}
+
+// SensingDutyCycle implements System: CSSK rides on the sensing chirps, so
+// the radar senses during every chirp.
+func (BiScatter) SensingDutyCycle() float64 { return 1.0 }
+
+// SetupFrames implements System: the packet preamble is part of the normal
+// frame; no dedicated handshake frames are needed.
+func (BiScatter) SetupFrames() int { return 0 }
+
+// Table1 returns all four systems in the paper's row order.
+func Table1() []System {
+	return []System{Millimetro{}, MmTag{}, NewMilBack(), BiScatter{}}
+}
+
+// TwoToneDownlink models MilBack's downlink primitive on the shared channel
+// substrate: the access point transmits two tones spaced Δf apart; the tag's
+// envelope detector produces a beat at Δf, and symbols are distinct tone
+// spacings. This exists to compare downlink robustness per unit bandwidth
+// against CSSK, using the same envelope-detector noise model.
+type TwoToneDownlink struct {
+	// Spacings are the symbol beat frequencies in Hz.
+	Spacings []float64
+	// SymbolDuration is the dwell time per symbol in seconds.
+	SymbolDuration float64
+	// SampleRate is the tag ADC rate in Hz.
+	SampleRate float64
+}
+
+// NewTwoToneDownlink builds a two-tone downlink with nSymbols spacings
+// between lo and hi Hz.
+func NewTwoToneDownlink(nSymbols int, lo, hi, symbolDuration, sampleRate float64) (*TwoToneDownlink, error) {
+	if nSymbols < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 symbols, got %d", nSymbols)
+	}
+	if lo <= 0 || hi <= lo || hi >= sampleRate/2 {
+		return nil, fmt.Errorf("baseline: invalid spacing range (%v, %v) at fs=%v", lo, hi, sampleRate)
+	}
+	if symbolDuration <= 0 {
+		return nil, fmt.Errorf("baseline: symbol duration %v must be positive", symbolDuration)
+	}
+	sp := make([]float64, nSymbols)
+	for i := range sp {
+		sp[i] = lo + (hi-lo)*float64(i)/float64(nSymbols-1)
+	}
+	return &TwoToneDownlink{Spacings: sp, SymbolDuration: symbolDuration, SampleRate: sampleRate}, nil
+}
+
+// SimulateSymbol synthesizes the tag's envelope output for symbol idx at the
+// given SNR and decodes it, returning the decoded symbol index.
+func (t *TwoToneDownlink) SimulateSymbol(idx int, snrDB float64, noise *channel.Noise) (int, error) {
+	if idx < 0 || idx >= len(t.Spacings) {
+		return 0, fmt.Errorf("baseline: symbol %d out of range", idx)
+	}
+	n := int(t.SymbolDuration * t.SampleRate)
+	if n < 8 {
+		return 0, fmt.Errorf("baseline: symbol too short (%d samples)", n)
+	}
+	x := make([]float64, n)
+	beat := t.Spacings[idx]
+	phase := noise.Rand().Float64() * 2 * math.Pi
+	for i := range x {
+		x[i] = math.Cos(2*math.Pi*beat*float64(i)/t.SampleRate + phase)
+	}
+	noise.AddReal(x, channel.SigmaForSNR(1, snrDB))
+	best, bestP := 0, -1.0
+	for j, f := range t.Spacings {
+		if p := dsp.RealToneEnergy(x, f, t.SampleRate); p > bestP {
+			bestP, best = p, j
+		}
+	}
+	return best, nil
+}
+
+// SymbolErrorRate measures the two-tone downlink's symbol error rate over
+// trials random symbols at the given SNR.
+func (t *TwoToneDownlink) SymbolErrorRate(snrDB float64, trials int, seed int64) float64 {
+	noise := channel.NewNoise(seed)
+	errs := 0
+	for k := 0; k < trials; k++ {
+		idx := noise.Rand().Intn(len(t.Spacings))
+		got, err := t.SimulateSymbol(idx, snrDB, noise)
+		if err != nil || got != idx {
+			errs++
+		}
+	}
+	return float64(errs) / float64(trials)
+}

@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"testing"
+
+	"biscatter/internal/channel"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("table should have 4 systems, got %d", len(rows))
+	}
+	want := []Capabilities{
+		{Name: "Millimetro", Uplink: false, Downlink: false, Localization: true, IntegratedISAC: false, CommodityRadar: true},
+		{Name: "mmTag", Uplink: true, Downlink: false, Localization: false, IntegratedISAC: false, CommodityRadar: true},
+		{Name: "MilBack", Uplink: true, Downlink: true, Localization: true, IntegratedISAC: false, CommodityRadar: false},
+		{Name: "BiScatter", Uplink: true, Downlink: true, Localization: true, IntegratedISAC: true, CommodityRadar: true},
+	}
+	for i, sys := range rows {
+		if got := sys.Capabilities(); got != want[i] {
+			t.Errorf("row %d: got %+v, want %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestOnlyBiScatterHasAllCapabilities(t *testing.T) {
+	full := 0
+	for _, sys := range Table1() {
+		c := sys.Capabilities()
+		if c.Uplink && c.Downlink && c.Localization && c.IntegratedISAC && c.CommodityRadar {
+			full++
+			if c.Name != "BiScatter" {
+				t.Errorf("%s should not have every capability", c.Name)
+			}
+		}
+	}
+	if full != 1 {
+		t.Fatalf("%d systems have all capabilities, want exactly 1", full)
+	}
+}
+
+func TestSensingDutyCycle(t *testing.T) {
+	if (BiScatter{}).SensingDutyCycle() != 1 {
+		t.Error("BiScatter should sense continuously")
+	}
+	mb := NewMilBack()
+	if dc := mb.SensingDutyCycle(); dc >= 1 || dc <= 0 {
+		t.Errorf("MilBack duty cycle %v should be strictly between 0 and 1", dc)
+	}
+	if (Millimetro{}).SensingDutyCycle() != 1 {
+		t.Error("Millimetro senses continuously")
+	}
+}
+
+func TestSetupFramesOnlyMilBack(t *testing.T) {
+	for _, sys := range Table1() {
+		c := sys.Capabilities()
+		if c.Name == "MilBack" {
+			if sys.SetupFrames() <= 0 {
+				t.Error("MilBack needs a handshake")
+			}
+		} else if sys.SetupFrames() != 0 {
+			t.Errorf("%s should not need setup frames", c.Name)
+		}
+	}
+}
+
+func TestTwoToneDownlinkValidation(t *testing.T) {
+	if _, err := NewTwoToneDownlink(1, 10e3, 100e3, 100e-6, 1e6); err == nil {
+		t.Error("1 symbol should fail")
+	}
+	if _, err := NewTwoToneDownlink(4, 0, 100e3, 100e-6, 1e6); err == nil {
+		t.Error("zero lo should fail")
+	}
+	if _, err := NewTwoToneDownlink(4, 10e3, 600e3, 100e-6, 1e6); err == nil {
+		t.Error("hi above Nyquist should fail")
+	}
+	if _, err := NewTwoToneDownlink(4, 10e3, 100e3, 0, 1e6); err == nil {
+		t.Error("zero duration should fail")
+	}
+	tt, err := NewTwoToneDownlink(4, 10e3, 100e3, 100e-6, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.SimulateSymbol(9, 30, channel.NewNoise(1)); err == nil {
+		t.Error("out-of-range symbol should fail")
+	}
+}
+
+func TestTwoToneDownlinkCleanChannel(t *testing.T) {
+	tt, err := NewTwoToneDownlink(8, 10e3, 120e3, 100e-6, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := channel.NewNoise(2)
+	for idx := 0; idx < 8; idx++ {
+		got, err := tt.SimulateSymbol(idx, 40, noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != idx {
+			t.Fatalf("symbol %d decoded as %d at 40 dB", idx, got)
+		}
+	}
+}
+
+func TestTwoToneDownlinkSERDegradesWithNoise(t *testing.T) {
+	tt, err := NewTwoToneDownlink(16, 10e3, 120e3, 100e-6, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := tt.SymbolErrorRate(30, 200, 3)
+	// The 100 µs matched filter adds ~17 dB of integration gain, so the SNR
+	// must go well below zero before symbol decisions start failing.
+	low := tt.SymbolErrorRate(-18, 200, 3)
+	if high > 0.02 {
+		t.Fatalf("SER at 30 dB = %v, should be near zero", high)
+	}
+	if low < 5*high+0.05 {
+		t.Fatalf("SER should degrade at low SNR: high=%v low=%v", high, low)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// DeliveryReport summarizes a reliable-downlink delivery attempt sequence.
+type DeliveryReport struct {
+	// Attempts is the number of downlink transmissions used.
+	Attempts int
+	// Delivered reports whether the node acknowledged a clean decode.
+	Delivered bool
+	// AckErrors counts acknowledgment frames the radar failed to read.
+	AckErrors int
+}
+
+// DeliverReliable implements the on-demand retransmission loop that §1
+// motivates as a key benefit of downlink capability: without write access a
+// tag can never request a retransmission, so every lost packet is lost
+// forever. Each attempt is two frames: the payload frame, then an
+// acknowledgment frame on which the node modulates a single uplink bit
+// (1 = clean decode). The radar retransmits until the ACK arrives or
+// maxAttempts is exhausted.
+func (n *Network) DeliverReliable(nodeIdx int, payload []byte, maxAttempts int) (DeliveryReport, error) {
+	if nodeIdx < 0 || nodeIdx >= len(n.nodes) {
+		return DeliveryReport{}, fmt.Errorf("core: node index %d out of range", nodeIdx)
+	}
+	if maxAttempts < 1 {
+		return DeliveryReport{}, fmt.Errorf("core: maxAttempts %d must be positive", maxAttempts)
+	}
+	var rep DeliveryReport
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		rep.Attempts = attempt
+		// Payload frame: downlink only.
+		res, err := n.Exchange(payload, nil)
+		if err != nil {
+			return rep, err
+		}
+		nr := res.Nodes[nodeIdx]
+		decoded := nr.DownlinkErr == nil && bytes.Equal(nr.DownlinkPayload, payload)
+
+		// Acknowledgment frame: the node repeats its verdict across three
+		// uplink bits; the radar majority-votes them. The ack frame carries
+		// a minimal beacon payload so the radar keeps sensing.
+		ackBits := []bool{decoded, decoded, decoded}
+		ackRes, err := n.Exchange(nil, map[int][]bool{nodeIdx: ackBits})
+		if err != nil {
+			return rep, err
+		}
+		ar := ackRes.Nodes[nodeIdx]
+		if ar.DetectionErr != nil || ar.UplinkErr != nil || len(ar.UplinkBits) < len(ackBits) {
+			rep.AckErrors++
+			continue // radar cannot read the verdict; retransmit
+		}
+		votes := 0
+		for _, b := range ar.UplinkBits[:len(ackBits)] {
+			if b {
+				votes++
+			}
+		}
+		if votes >= 2 {
+			rep.Delivered = true
+			return rep, nil
+		}
+	}
+	return rep, nil
+}

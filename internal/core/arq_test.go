@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDeliverReliableValidation(t *testing.T) {
+	n, err := NewNetwork(oneNodeConfig(2.6, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.DeliverReliable(5, []byte{1}, 3); err == nil {
+		t.Error("out-of-range node should fail")
+	}
+	if _, err := n.DeliverReliable(0, []byte{1}, 0); err == nil {
+		t.Error("zero attempts should fail")
+	}
+}
+
+func TestDeliverReliableFirstTryAtShortRange(t *testing.T) {
+	n, err := NewNetwork(oneNodeConfig(2.6, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.DeliverReliable(0, []byte("config v2"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Delivered {
+		t.Fatal("short-range delivery should succeed")
+	}
+	if rep.Attempts != 1 {
+		t.Fatalf("expected first-try delivery, used %d attempts", rep.Attempts)
+	}
+}
+
+func TestDeliverReliableRetransmitsAtMarginalRange(t *testing.T) {
+	// Near the edge of the downlink range single packets fail regularly;
+	// the ARQ loop must convert most of those losses into deliveries. This
+	// is §1's retransmission argument made concrete.
+	delivered, totalAttempts, trials := 0, 0, 5
+	for trial := 0; trial < trials; trial++ {
+		n, err := NewNetwork(oneNodeConfig(11, 52+int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := n.DeliverReliable(0, RandomPayload(int64(trial), 10), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Delivered {
+			delivered++
+			totalAttempts += rep.Attempts
+		}
+	}
+	if delivered < trials-1 {
+		t.Fatalf("ARQ delivered only %d/%d at marginal range", delivered, trials)
+	}
+	if totalAttempts <= delivered {
+		t.Fatalf("expected some retransmissions at 11 m (SNR ≈12 dB), got %d attempts for %d deliveries",
+			totalAttempts, delivered)
+	}
+}
+
+func TestDeliverReliableGivesUp(t *testing.T) {
+	// Far beyond range the loop must exhaust its attempts and report
+	// failure rather than spin.
+	n, err := NewNetwork(oneNodeConfig(40, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.DeliverReliable(0, []byte("unreachable"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered {
+		t.Fatal("delivery at 40 m should fail")
+	}
+	if rep.Attempts != 2 {
+		t.Fatalf("should use every attempt, used %d", rep.Attempts)
+	}
+}

@@ -1,0 +1,259 @@
+// Package core assembles the full BiScatter system: a radar access point
+// that encodes downlink packets into CSSK frames while sensing, one or more
+// backscatter nodes that decode the downlink and modulate the uplink, and
+// the channel that binds them. It is the integration layer the public
+// biscatter package re-exports and the experiment harness drives.
+package core
+
+import (
+	"fmt"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/cssk"
+	"biscatter/internal/delayline"
+	"biscatter/internal/fmcw"
+	"biscatter/internal/packet"
+	"biscatter/internal/radar"
+	"biscatter/internal/tag"
+)
+
+// LinkFromPreset derives a link budget from a radar preset, keeping the
+// calibrated default losses.
+func LinkFromPreset(p fmcw.Preset) channel.Link {
+	l := channel.DefaultLink()
+	l.TxPowerDBm = p.TxPowerDBm
+	l.RadarGainDBi = p.AntennaGainDBi
+	l.Frequency = p.Chirp.CenterFrequency()
+	l.RadarNoiseFigureDB = p.NoiseFigureDB
+	l.IFBandwidth = p.Chirp.SampleRate
+	return l
+}
+
+// NodeConfig places one backscatter node in the network.
+type NodeConfig struct {
+	// ID is the node identifier carried in downlink addressing.
+	ID uint8
+	// Range is the node's distance from the radar in meters.
+	Range float64
+	// ModulationF0 is the node's uplink tone for 0-bits (and its
+	// localization signature); each node needs a unique value. Zero
+	// auto-assigns.
+	ModulationF0 float64
+	// ModulationF1 is the uplink tone for 1-bits (FSK). Zero auto-assigns.
+	ModulationF1 float64
+}
+
+// Config assembles a Network.
+type Config struct {
+	// Preset selects the radar platform; defaults to the 9 GHz prototype.
+	Preset fmcw.Preset
+	// Period is the chirp period; defaults to the preset's.
+	Period float64
+	// SymbolBits is the CSSK symbol size; default 5 (the paper's headline
+	// operating point).
+	SymbolBits int
+	// MinChirpDuration defaults to 20 µs, the commercial-radar floor.
+	MinChirpDuration float64
+	// DeltaL is the tag delay-line length difference in meters; defaults to
+	// the paper's 45-inch coax pair.
+	DeltaL float64
+	// MinBeatSpacing is the tag's Δf_int; default 500 Hz.
+	MinBeatSpacing float64
+	// ChirpsPerBit is the uplink bit length in chirps; default 32.
+	ChirpsPerBit int
+	// Nodes places the backscatter nodes; at least one is required.
+	Nodes []NodeConfig
+	// Clutter is the static environment; defaults to the office scene.
+	Clutter []channel.Reflector
+	// Seed seeds all stochastic components.
+	Seed int64
+	// TagSampleRate is the tag ADC rate; default 1 MHz.
+	TagSampleRate float64
+	// DecoderMethod selects the tag's spectral estimator.
+	DecoderMethod tag.Method
+}
+
+func (c Config) withDefaults() Config {
+	if c.Preset.Name == "" {
+		c.Preset = fmcw.Radar9GHz()
+	}
+	if c.Period == 0 {
+		c.Period = c.Preset.DefaultPeriod
+	}
+	if c.SymbolBits == 0 {
+		c.SymbolBits = 5
+	}
+	if c.MinChirpDuration == 0 {
+		c.MinChirpDuration = 20e-6
+	}
+	if c.DeltaL == 0 {
+		c.DeltaL = 45 * delayline.MetersPerInch
+	}
+	if c.MinBeatSpacing == 0 {
+		c.MinBeatSpacing = 500
+	}
+	if c.ChirpsPerBit == 0 {
+		c.ChirpsPerBit = 32
+	}
+	if c.Clutter == nil {
+		c.Clutter = channel.OfficeClutter()
+	}
+	if c.TagSampleRate == 0 {
+		c.TagSampleRate = 1e6
+	}
+	return c
+}
+
+// Node is a deployed backscatter node.
+type Node struct {
+	// Tag is the node's hardware model.
+	Tag *tag.Tag
+	// Range is the distance from the radar.
+	Range float64
+	// Uplink is the node's slow-time modulation plan as known to the radar.
+	Uplink radar.UplinkFSKConfig
+}
+
+// Network is a BiScatter deployment: one radar access point and its nodes.
+type Network struct {
+	cfg      Config
+	link     channel.Link
+	alphabet *cssk.Alphabet
+	pkt      packet.Config
+	builder  *fmcw.FrameBuilder
+	radar    *radar.Radar
+	nodes    []*Node
+	pair     delayline.Pair
+}
+
+// NewNetwork builds a network from the configuration.
+func NewNetwork(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("core: at least one node is required")
+	}
+	link := LinkFromPreset(cfg.Preset)
+
+	pair, err := delayline.NewCoaxPair(cfg.DeltaL, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	fc := cfg.Preset.Chirp.CenterFrequency()
+	cal := delayline.FromPair(pair, fc)
+	alphabet, err := cssk.NewAlphabet(cssk.Config{
+		Bandwidth:        cfg.Preset.Chirp.Bandwidth,
+		Period:           cfg.Period,
+		MinChirpDuration: cfg.MinChirpDuration,
+		DeltaT:           cal.EffectiveDeltaT,
+		MinBeatSpacing:   cfg.MinBeatSpacing,
+		SymbolBits:       cfg.SymbolBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkt := packet.Config{Alphabet: alphabet, HeaderLen: 8, SyncLen: 2}
+	builder, err := fmcw.NewFrameBuilder(cfg.Preset.Chirp, cfg.Period)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := radar.New(radar.Config{
+		Chirp: cfg.Preset.Chirp,
+		Link:  link,
+		Seed:  cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Network{
+		cfg:      cfg,
+		link:     link,
+		alphabet: alphabet,
+		pkt:      pkt,
+		builder:  builder,
+		radar:    rd,
+		pair:     pair,
+	}
+	chirpRate := 1 / cfg.Period
+	for i, nc := range cfg.Nodes {
+		if nc.Range <= 0 {
+			return nil, fmt.Errorf("core: node %d range %v m must be positive", i, nc.Range)
+		}
+		f0, f1 := nc.ModulationF0, nc.ModulationF1
+		// Auto-assigned tones sit on a grid whose step tracks the uplink
+		// bit rate: a bit window of ChirpsPerBit chirps resolves slow-time
+		// tones no finer than chirpRate/ChirpsPerBit, so both the FSK pair
+		// spacing and the inter-node spacing must exceed that.
+		bitRate := chirpRate / float64(cfg.ChirpsPerBit)
+		step := 2 * bitRate
+		if min := 0.02 * chirpRate; step < min {
+			step = min
+		}
+		base := 0.15 * chirpRate
+		if f0 == 0 {
+			f0 = base + float64(2*i)*step
+		}
+		if f1 == 0 {
+			f1 = f0 + step
+		}
+		if f1 >= chirpRate/2 {
+			return nil, fmt.Errorf("core: node %d: auto-assigned tones exceed the slow-time band (f1=%.0f Hz ≥ %.0f Hz); use fewer nodes, a larger ChirpsPerBit, or explicit ModulationF0/F1", i, f1, chirpRate/2)
+		}
+		mod, err := tag.NewModulator(tag.SchemeFSK, f0, f1, cfg.Period, cfg.ChirpsPerBit)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		tg, err := tag.New(tag.Config{
+			Pair:            pair,
+			Alphabet:        alphabet,
+			SampleRate:      cfg.TagSampleRate,
+			CenterFrequency: fc,
+			Modulator:       mod,
+			Seed:            cfg.Seed + int64(i) + 1,
+			ID:              nc.ID,
+			Method:          cfg.DecoderMethod,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		n.nodes = append(n.nodes, &Node{
+			Tag:   tg,
+			Range: nc.Range,
+			Uplink: radar.UplinkFSKConfig{
+				F0: f0, F1: f1,
+				ChirpsPerBit: cfg.ChirpsPerBit,
+				Period:       cfg.Period,
+			},
+		})
+	}
+	return n, nil
+}
+
+// Alphabet returns the network's CSSK constellation.
+func (n *Network) Alphabet() *cssk.Alphabet { return n.alphabet }
+
+// Packet returns the downlink framing configuration.
+func (n *Network) Packet() packet.Config { return n.pkt }
+
+// Link returns the network's link budget.
+func (n *Network) Link() channel.Link { return n.link }
+
+// Radar returns the access point's receive processor.
+func (n *Network) Radar() *radar.Radar { return n.radar }
+
+// Builder returns the frame builder.
+func (n *Network) Builder() *fmcw.FrameBuilder { return n.builder }
+
+// Nodes returns the deployed nodes.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Pair returns the tag delay-line pair.
+func (n *Network) Pair() delayline.Pair { return n.pair }
+
+// Config returns the network configuration with defaults applied.
+func (n *Network) Config() Config { return n.cfg }
+
+// DownlinkDataRate returns the CSSK downlink data rate in bit/s (Eq. 14).
+func (n *Network) DownlinkDataRate() float64 {
+	return n.alphabet.Config().DataRate()
+}

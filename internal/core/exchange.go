@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"biscatter/internal/cssk"
+	"biscatter/internal/dsp"
+	"biscatter/internal/fmcw"
+	"biscatter/internal/radar"
+	"biscatter/internal/tag"
+)
+
+// NodeResult is the outcome of one exchange for one node.
+type NodeResult struct {
+	// DownlinkPayload is what the node decoded from the radar's packet
+	// (nil when DownlinkErr is set).
+	DownlinkPayload []byte
+	// DownlinkErr reports a downlink decoding failure.
+	DownlinkErr error
+	// DownlinkDiag carries the tag decoder's pipeline diagnostics.
+	DownlinkDiag tag.Diagnostics
+	// Detection is the radar's localization of this node.
+	Detection radar.Detection
+	// DetectionErr reports a failed tag search.
+	DetectionErr error
+	// UplinkBits is what the radar decoded from this node's backscatter.
+	UplinkBits []bool
+	// UplinkErr reports an uplink demodulation failure.
+	UplinkErr error
+}
+
+// ExchangeResult is the outcome of one full ISAC round.
+type ExchangeResult struct {
+	// Frame is the transmitted CSSK frame.
+	Frame *fmcw.Frame
+	// Nodes holds one result per network node, in network order.
+	Nodes []NodeResult
+}
+
+// BuildDownlinkFrame encodes a payload into a CSSK frame, padding with
+// header-slope chirps so the frame spans at least minChirps (uplink bit
+// windows may need more chirps than the packet itself).
+func (n *Network) BuildDownlinkFrame(payload []byte, minChirps int) (*fmcw.Frame, error) {
+	syms, err := n.pkt.Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	durs := make([]float64, 0, len(syms))
+	for _, s := range syms {
+		durs = append(durs, s.Duration)
+	}
+	for len(durs) < minChirps {
+		durs = append(durs, n.alphabet.Header().Duration)
+	}
+	return n.builder.Build(durs)
+}
+
+// BuildSensingFrame builds a fixed-slope frame (sensing-only mode).
+func (n *Network) BuildSensingFrame(chirps int) (*fmcw.Frame, error) {
+	return n.builder.BuildUniform(chirps, n.cfg.Preset.Chirp.Duration)
+}
+
+// Exchange runs one integrated round: the radar transmits the downlink
+// packet as a CSSK frame; every node receives it through its own link SNR
+// and decodes it; every node simultaneously modulates its uplink bits onto
+// the retro-reflection; the radar observes the composite scene, localizes
+// each node by its modulation signature and demodulates its bits.
+//
+// uplinkBits maps node index → bits; nodes without an entry modulate a
+// constant-zero pattern (pure localization beacon).
+func (n *Network) Exchange(payload []byte, uplinkBits map[int][]bool) (*ExchangeResult, error) {
+	// Size the frame for both the packet and the longest uplink message.
+	minChirps := 0
+	for _, bits := range uplinkBits {
+		if c := len(bits) * n.cfg.ChirpsPerBit; c > minChirps {
+			minChirps = c
+		}
+	}
+	frame, err := n.BuildDownlinkFrame(payload, minChirps)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExchangeResult{Frame: frame, Nodes: make([]NodeResult, len(n.nodes))}
+
+	// Downlink: each node captures the frame at its own SNR.
+	for i, node := range n.nodes {
+		snr := n.link.DownlinkSNRdB(node.Range)
+		pl, diag, derr := node.Tag.ReceiveDownlink(frame, snr, n.pkt)
+		res.Nodes[i].DownlinkPayload = pl
+		res.Nodes[i].DownlinkErr = derr
+		res.Nodes[i].DownlinkDiag = diag
+	}
+
+	// Uplink: build the radar scene with every node's switch states.
+	scene := radar.Scene{Clutter: n.cfg.Clutter}
+	for i, node := range n.nodes {
+		bits := uplinkBits[i]
+		states, serr := node.Tag.UplinkStates(bits, n.cfg.Period, len(frame.Chirps))
+		if serr != nil {
+			return nil, fmt.Errorf("core: node %d uplink states: %w", i, serr)
+		}
+		scene.Tags = append(scene.Tags, radar.TagEcho{
+			Range:    node.Range,
+			States:   states,
+			PowerDBm: n.link.UplinkRxPowerDBm(node.Range),
+		})
+	}
+	capt := n.radar.Observe(frame, scene)
+	cm, grid := n.radar.CorrectedMatrix(capt)
+	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
+
+	dets, derrs := n.detectNodes(matrix, grid)
+	for i, node := range n.nodes {
+		res.Nodes[i].Detection = dets[i]
+		res.Nodes[i].DetectionErr = derrs[i]
+		if derrs[i] != nil {
+			continue
+		}
+		if bits, ok := uplinkBits[i]; ok && len(bits) > 0 {
+			got, uerr := n.radar.DecodeUplinkFSK(matrix, dets[i].Bin, node.Uplink)
+			if uerr == nil && len(got) > len(bits) {
+				got = got[:len(bits)]
+			}
+			res.Nodes[i].UplinkBits = got
+			res.Nodes[i].UplinkErr = uerr
+		}
+	}
+	return res, nil
+}
+
+// detectNodes locates every node jointly. A single-node search per tone is
+// not enough in multi-tag deployments: a strong nearby node's modulation
+// harmonics and bit-pattern sidebands can out-power a weak distant node's
+// fundamental at the strong node's own range bin (the backscatter near-far
+// problem, §6). The joint rule assigns each range bin to the node whose
+// combined F0+F1 signature is strongest there — at a node's true bin its own
+// fundamentals always dominate another node's spectral splatter — and then
+// each node peaks only over the bins it owns.
+func (n *Network) detectNodes(matrix [][]float64, grid []float64) ([]radar.Detection, []error) {
+	nn := len(n.nodes)
+	dets := make([]radar.Detection, nn)
+	errs := make([]error, nn)
+	if nn == 0 {
+		return dets, errs
+	}
+	profs := make([][]float64, nn)
+	for j, node := range n.nodes {
+		p0 := n.radar.SignatureProfile(matrix, node.Uplink.F0, n.cfg.Period)
+		p1 := n.radar.SignatureProfile(matrix, node.Uplink.F1, n.cfg.Period)
+		s := make([]float64, len(p0))
+		for b := range s {
+			s[b] = p0[b] + p1[b]
+		}
+		profs[j] = s
+	}
+	nBins := len(profs[0])
+	owner := make([]int, nBins)
+	for b := 0; b < nBins; b++ {
+		best := 0
+		for j := 1; j < nn; j++ {
+			if profs[j][b] > profs[best][b] {
+				best = j
+			}
+		}
+		owner[b] = best
+	}
+	binWidth := grid[1] - grid[0]
+	for j := range n.nodes {
+		prof := profs[j]
+		med := medianOf(prof)
+		bestBin, bestVal := -1, 0.0
+		for b := 0; b < nBins; b++ {
+			if owner[b] == j && prof[b] > bestVal {
+				bestBin, bestVal = b, prof[b]
+			}
+		}
+		if bestBin < 0 || med <= 0 || bestVal < radar.DetectionThreshold*med {
+			errs[j] = radar.ErrTagNotFound
+			continue
+		}
+		delta := 0.0
+		if bestBin > 0 && bestBin < nBins-1 {
+			amps := []float64{
+				math.Sqrt(prof[bestBin-1]),
+				math.Sqrt(prof[bestBin]),
+				math.Sqrt(prof[bestBin+1]),
+			}
+			d, _ := dsp.ParabolicPeak(amps, 1)
+			delta = d
+		}
+		dets[j] = radar.Detection{
+			Range: grid[bestBin] + delta*binWidth,
+			Bin:   bestBin,
+			SNRdB: 10 * math.Log10(bestVal/med),
+		}
+	}
+	return dets, errs
+}
+
+// medianOf returns the median of x without modifying it.
+func medianOf(x []float64) float64 {
+	cp := append([]float64(nil), x...)
+	sort.Float64s(cp)
+	if len(cp) == 0 {
+		return 0
+	}
+	return cp[len(cp)/2]
+}
+
+// Localize runs a sensing round (with the given frame, or a fixed-slope
+// sensing frame when frame is nil) and returns per-node detections. Nodes
+// modulate their localization beacons (constant zero bits → F0 tone).
+func (n *Network) Localize(frame *fmcw.Frame, chirps int) ([]radar.Detection, error) {
+	var err error
+	if frame == nil {
+		frame, err = n.BuildSensingFrame(chirps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	scene := radar.Scene{Clutter: n.cfg.Clutter}
+	for _, node := range n.nodes {
+		states, serr := node.Tag.UplinkStates(nil, n.cfg.Period, len(frame.Chirps))
+		if serr != nil {
+			return nil, serr
+		}
+		scene.Tags = append(scene.Tags, radar.TagEcho{
+			Range:    node.Range,
+			States:   states,
+			PowerDBm: n.link.UplinkRxPowerDBm(node.Range),
+		})
+	}
+	capt := n.radar.Observe(frame, scene)
+	cm, grid := n.radar.CorrectedMatrix(capt)
+	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
+	dets, errs := n.detectNodes(matrix, grid)
+	for i, derr := range errs {
+		if derr != nil {
+			return nil, fmt.Errorf("core: node %d: %w", i, derr)
+		}
+	}
+	return dets, nil
+}
+
+// MapEnvironment runs a sensing frame and returns the radar's static-object
+// map (CFAR detections over the averaged corrected range profile) — the
+// primary sensing output that keeps running during communication.
+func (n *Network) MapEnvironment(chirps int) ([]radar.MapTarget, error) {
+	frame, err := n.BuildSensingFrame(chirps)
+	if err != nil {
+		return nil, err
+	}
+	scene := radar.Scene{Clutter: n.cfg.Clutter}
+	for _, node := range n.nodes {
+		states, serr := node.Tag.UplinkStates(nil, n.cfg.Period, len(frame.Chirps))
+		if serr != nil {
+			return nil, serr
+		}
+		scene.Tags = append(scene.Tags, radar.TagEcho{
+			Range:    node.Range,
+			States:   states,
+			PowerDBm: n.link.UplinkRxPowerDBm(node.Range),
+		})
+	}
+	capt := n.radar.Observe(frame, scene)
+	cm, grid := n.radar.CorrectedMatrix(capt)
+	return n.radar.EnvironmentMap(radar.MagnitudeMatrix(cm), grid)
+}
+
+// RandomPayload generates a deterministic pseudo-random payload of n bytes
+// for BER experiments, seeded per call.
+func RandomPayload(seed int64, n int) []byte {
+	out := make([]byte, n)
+	s := uint64(seed)*2654435761 + 1
+	for i := range out {
+		// xorshift64
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		out[i] = byte(s)
+	}
+	return out
+}
+
+// CountBitErrors compares two payloads bit by bit, returning the number of
+// differing bits over the total. Length mismatches count the missing bytes
+// as fully erroneous.
+func CountBitErrors(sent, got []byte) (errs, total int) {
+	total = len(sent) * 8
+	for i := range sent {
+		if i >= len(got) {
+			errs += 8
+			continue
+		}
+		errs += popcount8(sent[i] ^ got[i])
+	}
+	return errs, total
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for b != 0 {
+		b &= b - 1
+		n++
+	}
+	return n
+}
+
+// SymbolsFor exposes the encoded chirp schedule for a payload, useful for
+// experiments that need ground-truth symbols.
+func (n *Network) SymbolsFor(payload []byte) ([]cssk.Symbol, error) {
+	return n.pkt.Encode(payload)
+}

@@ -1,0 +1,73 @@
+package delayline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Calibration stores the tag's one-time calibration result: the effective
+// delay difference ΔT_eff estimated from measured beat frequencies at known
+// chirp slopes (§3.2.1). It absorbs velocity-factor error, dispersion at the
+// operating band, and connector parasitics.
+type Calibration struct {
+	// EffectiveDeltaT is the fitted ΔT in seconds.
+	EffectiveDeltaT float64
+	// Residual is the RMS relative error of the fit, a health indicator.
+	Residual float64
+}
+
+// Measurement pairs a known chirp slope with the beat frequency measured at
+// the envelope-detector output.
+type Measurement struct {
+	Slope float64 // Hz/s
+	Beat  float64 // Hz
+}
+
+// Calibrate fits ΔT_eff from one or more measurements using least squares
+// through the origin (Δf = α·ΔT is linear with zero intercept, Fig. 5).
+func Calibrate(meas []Measurement) (Calibration, error) {
+	if len(meas) == 0 {
+		return Calibration{}, fmt.Errorf("delayline: calibration needs at least one measurement")
+	}
+	var num, den float64
+	for i, m := range meas {
+		if m.Slope <= 0 {
+			return Calibration{}, fmt.Errorf("delayline: measurement %d has non-positive slope %v", i, m.Slope)
+		}
+		if m.Beat <= 0 {
+			return Calibration{}, fmt.Errorf("delayline: measurement %d has non-positive beat %v", i, m.Beat)
+		}
+		num += m.Slope * m.Beat
+		den += m.Slope * m.Slope
+	}
+	dt := num / den
+	var resid float64
+	for _, m := range meas {
+		pred := m.Slope * dt
+		rel := (pred - m.Beat) / m.Beat
+		resid += rel * rel
+	}
+	resid = math.Sqrt(resid / float64(len(meas)))
+	return Calibration{EffectiveDeltaT: dt, Residual: resid}, nil
+}
+
+// BeatForSlope predicts the beat frequency for a chirp slope using the
+// calibrated ΔT.
+func (c Calibration) BeatForSlope(alpha float64) float64 {
+	return alpha * c.EffectiveDeltaT
+}
+
+// SlopeForBeat inverts BeatForSlope.
+func (c Calibration) SlopeForBeat(beat float64) float64 {
+	if c.EffectiveDeltaT == 0 {
+		return 0
+	}
+	return beat / c.EffectiveDeltaT
+}
+
+// FromPair builds the calibration an ideal procedure would converge to for a
+// physical pair: ΔT evaluated at the band center. Useful as a starting point
+// before real measurements exist.
+func FromPair(p Pair, centerFrequency float64) Calibration {
+	return Calibration{EffectiveDeltaT: p.DeltaT(centerFrequency)}
+}

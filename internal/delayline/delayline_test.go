@@ -1,0 +1,284 @@
+package delayline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLineValidate(t *testing.T) {
+	good := Line{Length: 0.5, VelocityFactor: 0.7, RefFrequency: 9.5e9, Z0: 50, ZRef: 50}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid line rejected: %v", err)
+	}
+	bad := []Line{
+		{Length: 0, VelocityFactor: 0.7, RefFrequency: 9.5e9, Z0: 50, ZRef: 50},
+		{Length: 0.5, VelocityFactor: 0, RefFrequency: 9.5e9, Z0: 50, ZRef: 50},
+		{Length: 0.5, VelocityFactor: 1.2, RefFrequency: 9.5e9, Z0: 50, ZRef: 50},
+		{Length: 0.5, VelocityFactor: 0.7, RefFrequency: 0, Z0: 50, ZRef: 50},
+		{Length: 0.5, VelocityFactor: 0.7, RefFrequency: 9.5e9, Z0: 0, ZRef: 50},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDelayBasicPhysics(t *testing.T) {
+	l := Line{Length: 0.7, VelocityFactor: 0.7, RefFrequency: 9.5e9, Z0: 50, ZRef: 50}
+	want := 0.7 / (0.7 * speedOfLight)
+	if got := l.Delay(9.5e9); !approxEq(got, want, 1e-15) {
+		t.Fatalf("delay %v, want %v", got, want)
+	}
+}
+
+func TestDelayDispersionDirection(t *testing.T) {
+	l := Line{Length: 0.5, VelocityFactor: 0.5, Dispersion: 0.01, RefFrequency: 9.5e9, Z0: 50, ZRef: 50}
+	if !(l.Delay(10e9) > l.Delay(9.5e9)) {
+		t.Fatal("positive dispersion should increase delay above reference frequency")
+	}
+	if !(l.Delay(9e9) < l.Delay(9.5e9)) {
+		t.Fatal("positive dispersion should decrease delay below reference frequency")
+	}
+}
+
+func TestInsertionLossMonotoneInFrequencyAndLength(t *testing.T) {
+	mk := func(length float64) Line {
+		return Line{Length: length, VelocityFactor: 0.7, RefFrequency: 9.5e9,
+			ConductorLossCoeff: 1, DielectricLossCoeff: 0.1, Z0: 50, ZRef: 50}
+	}
+	l := mk(0.5)
+	if !(l.InsertionLossDB(10e9) > l.InsertionLossDB(9e9)) {
+		t.Fatal("loss should grow with frequency")
+	}
+	if !(mk(1.0).InsertionLossDB(9e9) > mk(0.5).InsertionLossDB(9e9)) {
+		t.Fatal("loss should grow with length")
+	}
+}
+
+func TestS11MatchedLineIsFloor(t *testing.T) {
+	l := Line{Length: 0.5, VelocityFactor: 0.7, RefFrequency: 9.5e9, Z0: 50, ZRef: 50}
+	if got := l.S11DB(9.5e9); got != -80 {
+		t.Fatalf("perfectly matched line S11 %v, want -80 dB floor", got)
+	}
+}
+
+func TestS11MismatchedLineBounded(t *testing.T) {
+	l := NewMeanderPair().Long
+	for f := 8.5e9; f <= 9.5e9; f += 50e6 {
+		s11 := l.S11DB(f)
+		if s11 > 0 || s11 < -80 {
+			t.Fatalf("S11 at %v Hz out of bounds: %v dB", f, s11)
+		}
+	}
+}
+
+func TestS11HasRipple(t *testing.T) {
+	l := NewMeanderPair().Long
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for f := 8.5e9; f <= 9.5e9; f += 10e6 {
+		s := l.S11DB(f)
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if hi-lo < 1 {
+		t.Fatalf("expected visible ripple across band, got span %v dB", hi-lo)
+	}
+}
+
+func TestPairValidate(t *testing.T) {
+	p, err := NewCoaxPair(45*MetersPerInch, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Long shorter than short is invalid.
+	inverted := Pair{Short: p.Long, Long: p.Short}
+	if err := inverted.Validate(); err == nil {
+		t.Fatal("inverted pair should be invalid")
+	}
+}
+
+func TestNewCoaxPairValidation(t *testing.T) {
+	if _, err := NewCoaxPair(0, 0.7); err == nil {
+		t.Error("zero ΔL should fail")
+	}
+	if _, err := NewCoaxPair(0.5, 0); err == nil {
+		t.Error("zero velocity factor should fail")
+	}
+	if _, err := NewCoaxPair(0.5, 1.5); err == nil {
+		t.Error("velocity factor > 1 should fail")
+	}
+}
+
+func TestEquation11PaperExample(t *testing.T) {
+	// §3.2.1's worked example: B = 1 GHz, ΔL = 18 in, k = 0.7,
+	// T_chirp between 20 µs and 200 µs → Δf ≈ 11 kHz to 110 kHz.
+	deltaL := 18 * MetersPerInch
+	fMax := BeatFromEquation11(1e9, 20e-6, deltaL, 0.7)
+	fMin := BeatFromEquation11(1e9, 200e-6, deltaL, 0.7)
+	if math.Abs(fMax-110e3) > 5e3 {
+		t.Fatalf("Δf_max = %v Hz, paper says ≈110 kHz", fMax)
+	}
+	if math.Abs(fMin-11e3) > 0.5e3 {
+		t.Fatalf("Δf_min = %v Hz, paper says ≈11 kHz", fMin)
+	}
+}
+
+func TestExpectedBeatMatchesEquation11(t *testing.T) {
+	// A dispersion-free pair must reproduce Eq. 11 exactly.
+	p, err := NewCoaxPair(45*MetersPerInch, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Short.Dispersion = 0
+	p.Long.Dispersion = 0
+	f := func(durSel uint8) bool {
+		tChirp := 20e-6 + float64(durSel%18)*10e-6
+		alpha := 1e9 / tChirp
+		want := BeatFromEquation11(1e9, tChirp, p.DeltaLength(), 0.7)
+		got := p.ExpectedBeat(alpha, 9.5e9)
+		return approxEq(got, want, 1e-6*want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeatLinearInInverseDuration(t *testing.T) {
+	// Fig. 5's shape: Δf vs 1/T_chirp is a line through the origin.
+	p := NewMeanderPair()
+	const B = 1e9
+	const fc = 9.5e9
+	type pt struct{ invT, beat float64 }
+	var pts []pt
+	for tc := 20e-6; tc <= 200e-6; tc += 20e-6 {
+		pts = append(pts, pt{1 / tc, p.ExpectedBeat(B/tc, fc)})
+	}
+	// All ratios beat/invT must be equal (the line's slope).
+	slope0 := pts[0].beat / pts[0].invT
+	for _, q := range pts[1:] {
+		if !approxEq(q.beat/q.invT, slope0, 1e-9*slope0) {
+			t.Fatalf("nonlinear: %v vs %v", q.beat/q.invT, slope0)
+		}
+	}
+	// And the slope must equal B·ΔT.
+	if !approxEq(slope0, B*p.DeltaT(fc), 1e-6) {
+		t.Fatalf("line slope %v, want %v", slope0, B*p.DeltaT(fc))
+	}
+}
+
+func TestMeanderPairMatchesPaperDelay(t *testing.T) {
+	p := NewMeanderPair()
+	dt := p.NominalDeltaT()
+	if math.Abs(dt-1.26e-9) > 0.05e-9 {
+		t.Fatalf("meander ΔT = %v s, paper reports 1.26 ns", dt)
+	}
+}
+
+func TestMeanInsertionLossPositive(t *testing.T) {
+	p := NewMeanderPair()
+	if p.MeanInsertionLossDB(9.5e9) <= 0 {
+		t.Fatal("insertion loss should be positive")
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	if _, err := Calibrate(nil); err == nil {
+		t.Error("empty measurement set should fail")
+	}
+	if _, err := Calibrate([]Measurement{{Slope: -1, Beat: 1}}); err == nil {
+		t.Error("negative slope should fail")
+	}
+	if _, err := Calibrate([]Measurement{{Slope: 1, Beat: 0}}); err == nil {
+		t.Error("zero beat should fail")
+	}
+}
+
+func TestCalibrateRecoversDeltaT(t *testing.T) {
+	const trueDT = 4.5e-9
+	var meas []Measurement
+	for tc := 20e-6; tc <= 200e-6; tc += 30e-6 {
+		alpha := 1e9 / tc
+		meas = append(meas, Measurement{Slope: alpha, Beat: alpha * trueDT})
+	}
+	cal, err := Calibrate(meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(cal.EffectiveDeltaT, trueDT, 1e-15) {
+		t.Fatalf("calibrated ΔT %v, want %v", cal.EffectiveDeltaT, trueDT)
+	}
+	if cal.Residual > 1e-12 {
+		t.Fatalf("noise-free fit should have ~zero residual, got %v", cal.Residual)
+	}
+}
+
+func TestCalibrateUnderNoiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trueDT := 2e-9 + rng.Float64()*5e-9
+		var meas []Measurement
+		for tc := 20e-6; tc <= 200e-6; tc += 15e-6 {
+			alpha := 1e9 / tc
+			noise := 1 + 0.01*rng.NormFloat64()
+			meas = append(meas, Measurement{Slope: alpha, Beat: alpha * trueDT * noise})
+		}
+		cal, err := Calibrate(meas)
+		if err != nil {
+			return false
+		}
+		return math.Abs(cal.EffectiveDeltaT-trueDT) < 0.03*trueDT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrationRoundTrip(t *testing.T) {
+	cal := Calibration{EffectiveDeltaT: 3e-9}
+	alpha := 1e9 / 60e-6
+	if got := cal.SlopeForBeat(cal.BeatForSlope(alpha)); !approxEq(got, alpha, 1e-3) {
+		t.Fatalf("round trip %v, want %v", got, alpha)
+	}
+	zero := Calibration{}
+	if zero.SlopeForBeat(100) != 0 {
+		t.Fatal("zero calibration should return 0 slope")
+	}
+}
+
+func TestFromPairUsesBandCenter(t *testing.T) {
+	p := NewMeanderPair()
+	cal := FromPair(p, 9.5e9)
+	if !approxEq(cal.EffectiveDeltaT, p.DeltaT(9.5e9), 1e-18) {
+		t.Fatal("FromPair should evaluate ΔT at the given frequency")
+	}
+}
+
+func TestCalibrationCompensatesDispersion(t *testing.T) {
+	// With dispersion, the uncalibrated Eq. 11 prediction (using nominal k)
+	// is biased; calibration at band center must reduce the decoding error.
+	p := NewMeanderPair()
+	const B = 1e9
+	// Evaluate at the band start, away from the 9.5 GHz reference, where the
+	// dispersive delay differs from the nominal ΔL/(k·c).
+	const fc = 9.0e9
+	cal := FromPair(p, fc)
+	var uncalErr, calErr float64
+	for tc := 20e-6; tc <= 200e-6; tc += 20e-6 {
+		alpha := B / tc
+		truth := p.ExpectedBeat(alpha, fc)
+		nominal := alpha * p.DeltaLength() / (p.Long.VelocityFactor * speedOfLight)
+		uncalErr += math.Abs(nominal - truth)
+		calErr += math.Abs(cal.BeatForSlope(alpha) - truth)
+	}
+	if calErr >= uncalErr {
+		t.Fatalf("calibration should reduce error: cal %v vs uncal %v", calErr, uncalErr)
+	}
+}

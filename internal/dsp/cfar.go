@@ -1,0 +1,72 @@
+package dsp
+
+import "fmt"
+
+// CFAR implements cell-averaging constant-false-alarm-rate detection, the
+// standard radar detector for picking targets out of a range profile whose
+// noise/clutter floor varies with range. For each cell, the threshold is the
+// mean of the training cells (excluding a guard band around the cell under
+// test) scaled by the CFAR factor.
+type CFAR struct {
+	// Train is the number of training cells on each side.
+	Train int
+	// Guard is the number of guard cells on each side.
+	Guard int
+	// Factor scales the noise estimate into a threshold (linear power
+	// ratio; ~10–15 gives low false-alarm rates for exponential noise).
+	Factor float64
+}
+
+// NewCFAR builds a detector.
+func NewCFAR(train, guard int, factor float64) (*CFAR, error) {
+	if train < 1 {
+		return nil, fmt.Errorf("dsp: CFAR needs at least 1 training cell, got %d", train)
+	}
+	if guard < 0 {
+		return nil, fmt.Errorf("dsp: CFAR guard cells %d must be non-negative", guard)
+	}
+	if factor <= 1 {
+		return nil, fmt.Errorf("dsp: CFAR factor %v must exceed 1", factor)
+	}
+	return &CFAR{Train: train, Guard: guard, Factor: factor}, nil
+}
+
+// Detect returns the indices of cells in the power profile x that exceed
+// their locally estimated threshold and are local maxima, in ascending
+// index order.
+func (c *CFAR) Detect(x []float64) []int {
+	var out []int
+	n := len(x)
+	for i := 0; i < n; i++ {
+		var sum float64
+		var cnt int
+		lo := i - c.Guard - c.Train
+		hi := i + c.Guard + c.Train
+		for j := lo; j <= hi; j++ {
+			if j < 0 || j >= n {
+				continue
+			}
+			if j >= i-c.Guard && j <= i+c.Guard {
+				continue // guard band including the cell under test
+			}
+			sum += x[j]
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		thr := c.Factor * sum / float64(cnt)
+		if x[i] <= thr {
+			continue
+		}
+		// Local-maximum condition suppresses shoulder detections.
+		if i > 0 && x[i-1] > x[i] {
+			continue
+		}
+		if i < n-1 && x[i+1] > x[i] {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}

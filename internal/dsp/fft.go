@@ -1,0 +1,248 @@
+// Package dsp provides the digital signal processing substrate used by the
+// BiScatter simulator: FFTs, the Goertzel algorithm, window functions,
+// filters, interpolation, autocorrelation and peak search.
+//
+// Everything is implemented on plain []complex128 / []float64 slices with no
+// external dependencies. Functions that allocate have Into-variants that
+// reuse caller-provided buffers so hot loops (per-chirp processing) can run
+// without garbage.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n. It panics for n <= 0
+// or when the result would overflow an int.
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPowerOfTwo requires n > 0")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	p := 1 << bits.Len(uint(n))
+	if p <= 0 {
+		panic("dsp: NextPowerOfTwo overflow")
+	}
+	return p
+}
+
+// FFTPlan caches twiddle factors and the bit-reversal permutation for a fixed
+// power-of-two transform size. A plan is safe for concurrent use because
+// Execute never mutates plan state.
+type FFTPlan struct {
+	n       int
+	twiddle []complex128 // exp(-2πi k/n) for k in [0, n/2)
+	rev     []int
+}
+
+// NewFFTPlan builds a plan for transforms of size n (a power of two).
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two", n)
+	}
+	p := &FFTPlan{n: n}
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	p.rev = make([]int, n)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		shift = 64
+	}
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return p, nil
+}
+
+// Size returns the transform size of the plan.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes the forward DFT of src into a newly allocated slice.
+// len(src) must equal the plan size.
+func (p *FFTPlan) Forward(src []complex128) []complex128 {
+	dst := make([]complex128, p.n)
+	p.ForwardInto(dst, src)
+	return dst
+}
+
+// ForwardInto computes the forward DFT of src into dst. dst and src must both
+// have the plan size; they may alias.
+func (p *FFTPlan) ForwardInto(dst, src []complex128) {
+	if len(src) != p.n || len(dst) != p.n {
+		panic(fmt.Sprintf("dsp: FFT size mismatch: plan %d, src %d, dst %d", p.n, len(src), len(dst)))
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	p.execute(dst, false)
+}
+
+// Inverse computes the inverse DFT (with 1/n normalization) of src into a new
+// slice.
+func (p *FFTPlan) Inverse(src []complex128) []complex128 {
+	dst := make([]complex128, p.n)
+	p.InverseInto(dst, src)
+	return dst
+}
+
+// InverseInto computes the inverse DFT (with 1/n normalization) of src into
+// dst. dst and src may alias.
+func (p *FFTPlan) InverseInto(dst, src []complex128) {
+	if len(src) != p.n || len(dst) != p.n {
+		panic(fmt.Sprintf("dsp: FFT size mismatch: plan %d, src %d, dst %d", p.n, len(src), len(dst)))
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	p.execute(dst, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= scale
+	}
+}
+
+// execute runs the in-place iterative radix-2 Cooley-Tukey transform.
+func (p *FFTPlan) execute(a []complex128, inverse bool) {
+	n := p.n
+	// Bit-reversal permutation.
+	for i, j := range p.rev {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				t := w * a[k+half]
+				a[k+half] = a[k] - t
+				a[k] = a[k] + t
+				tw += step
+			}
+		}
+	}
+}
+
+// FFT computes the forward DFT of src, zero-padding to the next power of two
+// when necessary. The returned slice length is NextPowerOfTwo(len(src)).
+func FFT(src []complex128) []complex128 {
+	n := NextPowerOfTwo(len(src))
+	plan, err := NewFFTPlan(n)
+	if err != nil {
+		panic(err) // unreachable: n is a power of two
+	}
+	buf := make([]complex128, n)
+	copy(buf, src)
+	plan.execute(buf, false)
+	return buf
+}
+
+// IFFT computes the normalized inverse DFT of src. len(src) must be a power
+// of two.
+func IFFT(src []complex128) []complex128 {
+	plan, err := NewFFTPlan(len(src))
+	if err != nil {
+		panic(err)
+	}
+	return plan.Inverse(src)
+}
+
+// FFTReal transforms a real-valued signal, zero-padding to the next power of
+// two, and returns the full complex spectrum.
+func FFTReal(src []float64) []complex128 {
+	buf := make([]complex128, NextPowerOfTwo(len(src)))
+	for i, v := range src {
+		buf[i] = complex(v, 0)
+	}
+	plan, err := NewFFTPlan(len(buf))
+	if err != nil {
+		panic(err)
+	}
+	plan.execute(buf, false)
+	return buf
+}
+
+// DFT computes the discrete Fourier transform by direct O(n²) evaluation.
+// It exists as a correctness oracle for FFT tests and for tiny non-power-of-
+// two sizes; do not use it in hot paths.
+func DFT(src []complex128) []complex128 {
+	n := len(src)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			acc += src[t] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// Magnitudes returns |spec[i]| for every bin.
+func Magnitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		out[i] = math.Hypot(real(c), imag(c))
+	}
+	return out
+}
+
+// MagnitudesInto writes |spec[i]| into dst, which must have the same length.
+func MagnitudesInto(dst []float64, spec []complex128) {
+	if len(dst) != len(spec) {
+		panic("dsp: MagnitudesInto length mismatch")
+	}
+	for i, c := range spec {
+		dst[i] = math.Hypot(real(c), imag(c))
+	}
+}
+
+// PowerSpectrum returns |spec[i]|² for every bin.
+func PowerSpectrum(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		out[i] = real(c)*real(c) + imag(c)*imag(c)
+	}
+	return out
+}
+
+// BinFrequency converts an FFT bin index to the frequency in Hz for a
+// transform of size n over samples taken at rate fs. Bins above n/2 map to
+// negative frequencies.
+func BinFrequency(bin, n int, fs float64) float64 {
+	if bin > n/2 {
+		bin -= n
+	}
+	return float64(bin) * fs / float64(n)
+}
+
+// FrequencyBin converts a frequency in Hz to the nearest FFT bin index for a
+// transform of size n at sample rate fs. Negative frequencies wrap to the
+// upper half.
+func FrequencyBin(freq float64, n int, fs float64) int {
+	bin := int(math.Round(freq * float64(n) / fs))
+	bin %= n
+	if bin < 0 {
+		bin += n
+	}
+	return bin
+}

@@ -1,0 +1,54 @@
+package dsp
+
+import "math"
+
+// DB converts a power ratio to decibels. Non-positive ratios return -Inf.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// AmplitudeDB converts an amplitude ratio to decibels (20·log10).
+func AmplitudeDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(ratio)
+}
+
+// AmplitudeFromDB converts decibels to an amplitude ratio.
+func AmplitudeFromDB(db float64) float64 {
+	return math.Pow(10, db/20)
+}
+
+// DBmToWatts converts a power level in dBm to watts.
+func DBmToWatts(dbm float64) float64 {
+	return math.Pow(10, (dbm-30)/10)
+}
+
+// WattsToDBm converts a power level in watts to dBm. Non-positive powers
+// return -Inf.
+func WattsToDBm(w float64) float64 {
+	if w <= 0 {
+		return math.Inf(-1)
+	}
+	return 10*math.Log10(w) + 30
+}
+
+// Clamp restricts v to the interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,61 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, r := range []float64{0.001, 0.5, 1, 2, 1000} {
+		if got := FromDB(DB(r)); !approxEq(got, r, 1e-9*r) {
+			t.Fatalf("ratio %v round-trips to %v", r, got)
+		}
+	}
+	if !math.IsInf(DB(0), -1) || !math.IsInf(DB(-1), -1) {
+		t.Fatal("non-positive ratios should give -Inf")
+	}
+}
+
+func TestAmplitudeDBRoundTrip(t *testing.T) {
+	for _, r := range []float64{0.01, 1, 7} {
+		if got := AmplitudeFromDB(AmplitudeDB(r)); !approxEq(got, r, 1e-9*r) {
+			t.Fatalf("amplitude %v round-trips to %v", r, got)
+		}
+	}
+	if !math.IsInf(AmplitudeDB(0), -1) {
+		t.Fatal("zero amplitude should give -Inf")
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	if got := DBmToWatts(0); !approxEq(got, 1e-3, 1e-12) {
+		t.Fatalf("0 dBm = %v W, want 1 mW", got)
+	}
+	if got := DBmToWatts(30); !approxEq(got, 1, 1e-9) {
+		t.Fatalf("30 dBm = %v W, want 1 W", got)
+	}
+	if got := WattsToDBm(1e-3); !approxEq(got, 0, 1e-9) {
+		t.Fatalf("1 mW = %v dBm, want 0", got)
+	}
+	if !math.IsInf(WattsToDBm(0), -1) {
+		t.Fatal("0 W should give -Inf dBm")
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		dbm := float64(raw%600)/10 - 30 // -30..+30 dBm
+		back := WattsToDBm(DBmToWatts(dbm))
+		return approxEq(back, dbm, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(99, 0, 10) != 10 {
+		t.Fatal("Clamp misbehaves")
+	}
+}

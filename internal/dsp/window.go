@@ -1,0 +1,112 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowKind selects a tapering window used before spectral analysis.
+type WindowKind int
+
+// Supported window kinds.
+const (
+	WindowRect WindowKind = iota
+	WindowHann
+	WindowHamming
+	WindowBlackman
+)
+
+// String implements fmt.Stringer.
+func (w WindowKind) String() string {
+	switch w {
+	case WindowRect:
+		return "rect"
+	case WindowHann:
+		return "hann"
+	case WindowHamming:
+		return "hamming"
+	case WindowBlackman:
+		return "blackman"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(w))
+	}
+}
+
+// Window returns the n window coefficients for the given kind using the
+// periodic (DFT-even) convention.
+func Window(kind WindowKind, n int) []float64 {
+	if n <= 0 {
+		panic("dsp: Window requires n > 0")
+	}
+	w := make([]float64, n)
+	switch kind {
+	case WindowRect:
+		for i := range w {
+			w[i] = 1
+		}
+	case WindowHann:
+		for i := range w {
+			w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n)))
+		}
+	case WindowHamming:
+		for i := range w {
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n))
+		}
+	case WindowBlackman:
+		for i := range w {
+			x := 2 * math.Pi * float64(i) / float64(n)
+			w[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+		}
+	default:
+		panic(fmt.Sprintf("dsp: unknown window kind %v", kind))
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by the window coefficients in place
+// and returns x. len(w) must equal len(x).
+func ApplyWindow(x, w []float64) []float64 {
+	if len(x) != len(w) {
+		panic("dsp: ApplyWindow length mismatch")
+	}
+	for i := range x {
+		x[i] *= w[i]
+	}
+	return x
+}
+
+// ApplyWindowComplex multiplies x element-wise by the real window w in place
+// and returns x.
+func ApplyWindowComplex(x []complex128, w []float64) []complex128 {
+	if len(x) != len(w) {
+		panic("dsp: ApplyWindowComplex length mismatch")
+	}
+	for i := range x {
+		x[i] *= complex(w[i], 0)
+	}
+	return x
+}
+
+// CoherentGain returns the normalized DC gain of the window (sum/n), used to
+// correct amplitude estimates taken from windowed spectra.
+func CoherentGain(w []float64) float64 {
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	return sum / float64(len(w))
+}
+
+// NoiseBandwidth returns the equivalent noise bandwidth of the window in
+// bins: n·Σw²/(Σw)².
+func NoiseBandwidth(w []float64) float64 {
+	var sum, sumSq float64
+	for _, v := range w {
+		sum += v
+		sumSq += v * v
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(w)) * sumSq / (sum * sum)
+}

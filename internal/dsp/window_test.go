@@ -1,0 +1,142 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowKinds(t *testing.T) {
+	for _, kind := range []WindowKind{WindowRect, WindowHann, WindowHamming, WindowBlackman} {
+		w := Window(kind, 64)
+		if len(w) != 64 {
+			t.Fatalf("%v: wrong length %d", kind, len(w))
+		}
+		for i, v := range w {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Fatalf("%v: coefficient %d = %v outside [0,1]", kind, i, v)
+			}
+		}
+	}
+}
+
+func TestWindowStringNames(t *testing.T) {
+	names := map[WindowKind]string{
+		WindowRect: "rect", WindowHann: "hann",
+		WindowHamming: "hamming", WindowBlackman: "blackman",
+		WindowKind(99): "WindowKind(99)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestWindowRectIsUnity(t *testing.T) {
+	for _, v := range Window(WindowRect, 16) {
+		if v != 1 {
+			t.Fatalf("rect window should be all ones, got %v", v)
+		}
+	}
+}
+
+func TestWindowHannEndpoints(t *testing.T) {
+	w := Window(WindowHann, 128)
+	if !approxEq(w[0], 0, 1e-12) {
+		t.Fatalf("periodic Hann should start at 0, got %v", w[0])
+	}
+	if !approxEq(w[64], 1, 1e-12) {
+		t.Fatalf("periodic Hann midpoint should be 1, got %v", w[64])
+	}
+}
+
+func TestWindowPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("n=0", func() { Window(WindowHann, 0) })
+	mustPanic("bad kind", func() { Window(WindowKind(42), 8) })
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	w := []float64{0.5, 0.5, 0.5, 0.5}
+	got := ApplyWindow(x, w)
+	want := []float64{0.5, 1, 1.5, 2}
+	for i := range want {
+		if !approxEq(got[i], want[i], 1e-12) {
+			t.Fatalf("index %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestApplyWindowComplex(t *testing.T) {
+	x := []complex128{1 + 1i, 2}
+	w := []float64{2, 0.5}
+	got := ApplyWindowComplex(x, w)
+	if got[0] != 2+2i || got[1] != 1 {
+		t.Fatalf("unexpected result %v", got)
+	}
+}
+
+func TestApplyWindowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ApplyWindow(make([]float64, 3), make([]float64, 4))
+}
+
+func TestCoherentGain(t *testing.T) {
+	if g := CoherentGain(Window(WindowRect, 10)); !approxEq(g, 1, 1e-12) {
+		t.Fatalf("rect coherent gain = %v, want 1", g)
+	}
+	if g := CoherentGain(Window(WindowHann, 4096)); !approxEq(g, 0.5, 1e-3) {
+		t.Fatalf("Hann coherent gain = %v, want ≈0.5", g)
+	}
+}
+
+func TestNoiseBandwidth(t *testing.T) {
+	if nb := NoiseBandwidth(Window(WindowRect, 64)); !approxEq(nb, 1, 1e-12) {
+		t.Fatalf("rect ENBW = %v, want 1", nb)
+	}
+	if nb := NoiseBandwidth(Window(WindowHann, 4096)); !approxEq(nb, 1.5, 1e-2) {
+		t.Fatalf("Hann ENBW = %v, want ≈1.5", nb)
+	}
+	if nb := NoiseBandwidth([]float64{0, 0}); !math.IsInf(nb, 1) {
+		t.Fatalf("zero window ENBW should be +Inf, got %v", nb)
+	}
+}
+
+func TestHannReducesSpectralLeakage(t *testing.T) {
+	// A tone between bins leaks badly with a rect window; Hann should
+	// concentrate more of the energy near the true bin.
+	const n = 256
+	const fs = 25600.0
+	freq := 10.5 * fs / n // halfway between bins 10 and 11
+	x := realTone(n, freq, fs, 1, 0)
+	rectSpec := Magnitudes(FFTReal(append([]float64(nil), x...)))
+	hann := ApplyWindow(append([]float64(nil), x...), Window(WindowHann, n))
+	hannSpec := Magnitudes(FFTReal(hann))
+	// Compare energy far from the tone (bins 30..n/2) relative to the peak.
+	leak := func(spec []float64) float64 {
+		peak := spec[10]
+		if spec[11] > peak {
+			peak = spec[11]
+		}
+		var far float64
+		for k := 30; k < n/2; k++ {
+			far += spec[k]
+		}
+		return far / peak
+	}
+	if leak(hannSpec) >= leak(rectSpec) {
+		t.Fatalf("Hann leakage %v should beat rect %v", leak(hannSpec), leak(rectSpec))
+	}
+}

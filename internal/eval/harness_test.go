@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := Table{Title: "T", Columns: []string{"a", "long-header"}}
+	tbl.AddRow("xxxxxxx", "1")
+	tbl.AddRow("y", "2")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatal("missing title")
+	}
+	// Data rows must be aligned: the second column starts at the same rune
+	// offset in each row.
+	idx3 := strings.Index(lines[3], "1")
+	idx4 := strings.Index(lines[4], "2")
+	if idx3 != idx4 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx3, idx4, out)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b"}}
+	tbl.AddRow(`comma,here`, `quote"here`)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"comma,here"`) {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"quote""here"`) {
+		t.Fatalf("quote cell not escaped: %s", csv)
+	}
+}
+
+func TestSeriesSorted(t *testing.T) {
+	s := Series{Name: "x", Points: []Point{{3, 1}, {1, 2}, {2, 3}}}
+	sorted := s.Sorted()
+	if sorted.Points[0].X != 1 || sorted.Points[2].X != 3 {
+		t.Fatalf("not sorted: %+v", sorted.Points)
+	}
+	if s.Points[0].X != 3 {
+		t.Fatal("Sorted must not mutate the receiver")
+	}
+}
+
+func TestSeriesTableMergesXAxes(t *testing.T) {
+	a := Series{Name: "A", Points: []Point{{1, 10}, {2, 20}}}
+	b := Series{Name: "B", Points: []Point{{2, 200}, {3, 300}}}
+	tbl := SeriesTable("t", "x", a, b)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("expected 3 x values, got %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][2] != "" {
+		t.Fatal("B has no value at x=1")
+	}
+	if tbl.Rows[1][1] != "20" || tbl.Rows[1][2] != "200" {
+		t.Fatalf("row 2 wrong: %v", tbl.Rows[1])
+	}
+}
+
+func TestBERCounter(t *testing.T) {
+	var c BERCounter
+	if c.Rate() != 0 || c.FloorRate() != 0 {
+		t.Fatal("empty counter")
+	}
+	c.Add(0, 1000)
+	if c.Rate() != 0 {
+		t.Fatal("zero errors")
+	}
+	if c.FloorRate() != 1e-3 {
+		t.Fatalf("floor rate %v", c.FloorRate())
+	}
+	c.Add(10, 1000)
+	if math.Abs(c.Rate()-10.0/2000) > 1e-12 {
+		t.Fatalf("rate %v", c.Rate())
+	}
+}
+
+func TestWilsonIntervalContainsRate(t *testing.T) {
+	f := func(errsRaw, totalRaw uint16) bool {
+		total := int(totalRaw%5000) + 1
+		errs := int(errsRaw) % (total + 1)
+		c := BERCounter{Errors: errs, Total: total}
+		lo, hi := c.Wilson()
+		return lo <= c.Rate()+1e-12 && hi >= c.Rate()-1e-12 && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonShrinksWithSamples(t *testing.T) {
+	small := BERCounter{Errors: 5, Total: 100}
+	large := BERCounter{Errors: 500, Total: 10000}
+	sLo, sHi := small.Wilson()
+	lLo, lHi := large.Wilson()
+	if lHi-lLo >= sHi-sLo {
+		t.Fatalf("interval did not shrink: %v vs %v", lHi-lLo, sHi-sLo)
+	}
+}
+
+func TestParallelMapOrderAndCompleteness(t *testing.T) {
+	var calls int64
+	out := ParallelMap(100, func(i int) int {
+		atomic.AddInt64(&calls, 1)
+		return i * i
+	})
+	if calls != 100 {
+		t.Fatalf("fn called %d times", calls)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("index %d has %d", i, v)
+		}
+	}
+	// Degenerate sizes.
+	if len(ParallelMap(0, func(i int) int { return i })) != 0 {
+		t.Fatal("n=0")
+	}
+	if out := ParallelMap(1, func(i int) int { return 7 }); out[0] != 7 {
+		t.Fatal("n=1")
+	}
+}
+
+func TestFormatBER(t *testing.T) {
+	if got := FormatBER(&BERCounter{}); got != "n/a" {
+		t.Fatalf("empty: %q", got)
+	}
+	if got := FormatBER(&BERCounter{Errors: 0, Total: 1000}); got != "<1.0e-03" {
+		t.Fatalf("floor: %q", got)
+	}
+	if got := FormatBER(&BERCounter{Errors: 5, Total: 1000}); got != "5.0e-03" {
+		t.Fatalf("rate: %q", got)
+	}
+}
+
+func TestResultRenderIncludesNotes(t *testing.T) {
+	r := Result{ID: "x", Description: "d", Notes: []string{"hello"}}
+	if !strings.Contains(r.Render(), "note: hello") {
+		t.Fatal("notes missing")
+	}
+}

@@ -1,0 +1,175 @@
+// Package mac models the medium-access extensions sketched in §6: sharing
+// one tag population among multiple radars with TDMA or slotted ALOHA, and
+// the per-node-rate versus network-throughput trade-off when many tags
+// share the slow-time modulation band.
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MaxConcurrentTags returns how many tags can modulate simultaneously given
+// the slow-time tone grid used by the core network: FSK pairs on a grid of
+// step max(2·bitRate, 0.02·chirpRate) packed into [0.15, 0.5)·chirpRate.
+func MaxConcurrentTags(period float64, chirpsPerBit int) int {
+	if period <= 0 || chirpsPerBit < 2 {
+		return 0
+	}
+	chirpRate := 1 / period
+	bitRate := chirpRate / float64(chirpsPerBit)
+	step := 2 * bitRate
+	if min := 0.02 * chirpRate; step < min {
+		step = min
+	}
+	base := 0.15 * chirpRate
+	n := 0
+	for {
+		f1 := base + float64(2*n)*step + step
+		if f1 >= chirpRate/2 {
+			return n
+		}
+		n++
+	}
+}
+
+// Throughput quantifies the §6 trade-off for a deployment of nTags: tags
+// beyond the concurrent capacity are time-division multiplexed across
+// frames, cutting the per-node rate while the aggregate saturates at the
+// band capacity.
+type Throughput struct {
+	// Concurrent is the number of tags that fit the tone grid at once.
+	Concurrent int
+	// PerNodeBitRate is each tag's average uplink rate (bit/s).
+	PerNodeBitRate float64
+	// AggregateBitRate is the network total (bit/s).
+	AggregateBitRate float64
+}
+
+// NetworkThroughput computes the trade-off for nTags tags.
+func NetworkThroughput(nTags, chirpsPerBit int, period float64) (Throughput, error) {
+	if nTags < 1 {
+		return Throughput{}, fmt.Errorf("mac: need at least one tag, got %d", nTags)
+	}
+	cap := MaxConcurrentTags(period, chirpsPerBit)
+	if cap == 0 {
+		return Throughput{}, fmt.Errorf("mac: no tone capacity at period %v, chirpsPerBit %d", period, chirpsPerBit)
+	}
+	raw := 1 / (float64(chirpsPerBit) * period)
+	active := nTags
+	if active > cap {
+		active = cap
+	}
+	share := 1.0
+	if nTags > cap {
+		share = float64(cap) / float64(nTags)
+	}
+	return Throughput{
+		Concurrent:       cap,
+		PerNodeBitRate:   raw * share,
+		AggregateBitRate: raw * float64(active),
+	}, nil
+}
+
+// Scheduler decides, per radar per slot, whether that radar transmits.
+type Scheduler interface {
+	// Name identifies the policy.
+	Name() string
+	// Transmit reports whether radar id transmits in the given slot.
+	Transmit(radarID, slot int, rng *rand.Rand) bool
+}
+
+// TDMA is round-robin slot ownership — the deterministic multi-radar
+// policy §6 suggests.
+type TDMA struct {
+	// Radars is the number of radars sharing the schedule.
+	Radars int
+}
+
+// Name implements Scheduler.
+func (TDMA) Name() string { return "tdma" }
+
+// Transmit implements Scheduler.
+func (t TDMA) Transmit(radarID, slot int, _ *rand.Rand) bool {
+	if t.Radars < 1 {
+		return false
+	}
+	return slot%t.Radars == radarID
+}
+
+// SlottedAloha transmits in each slot independently with probability P —
+// the uncoordinated policy §6 mentions.
+type SlottedAloha struct {
+	// P is the per-slot transmission probability.
+	P float64
+}
+
+// Name implements Scheduler.
+func (SlottedAloha) Name() string { return "slotted-aloha" }
+
+// Transmit implements Scheduler.
+func (s SlottedAloha) Transmit(_, _ int, rng *rand.Rand) bool {
+	return rng.Float64() < s.P
+}
+
+// SimResult summarizes a medium-sharing simulation.
+type SimResult struct {
+	// Slots is the number of simulated frame slots.
+	Slots int
+	// Attempts counts radar transmissions.
+	Attempts int
+	// Successes counts slots in which exactly one radar transmitted (two
+	// simultaneous FMCW frames at the tag collide: the envelope holds two
+	// interleaved chirp trains and the period estimate fails).
+	Successes int
+	// Collisions counts slots with two or more transmitters.
+	Collisions int
+	// PerRadar is each radar's successful-frame count.
+	PerRadar []int
+}
+
+// Utilization is the fraction of slots carrying exactly one frame.
+func (r SimResult) Utilization() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Slots)
+}
+
+// Simulate runs the scheduler over the given number of slots and radars.
+func Simulate(s Scheduler, radars, slots int, seed int64) (SimResult, error) {
+	if radars < 1 {
+		return SimResult{}, fmt.Errorf("mac: need at least one radar, got %d", radars)
+	}
+	if slots < 1 {
+		return SimResult{}, fmt.Errorf("mac: need at least one slot, got %d", slots)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := SimResult{Slots: slots, PerRadar: make([]int, radars)}
+	for slot := 0; slot < slots; slot++ {
+		var who []int
+		for id := 0; id < radars; id++ {
+			if s.Transmit(id, slot, rng) {
+				who = append(who, id)
+			}
+		}
+		res.Attempts += len(who)
+		switch {
+		case len(who) == 1:
+			res.Successes++
+			res.PerRadar[who[0]]++
+		case len(who) > 1:
+			res.Collisions++
+		}
+	}
+	return res, nil
+}
+
+// OptimalAlohaP returns the utilization-maximizing transmission probability
+// for n radars (the classic 1/n).
+func OptimalAlohaP(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	return 1 / float64(n)
+}

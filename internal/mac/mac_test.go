@@ -1,0 +1,141 @@
+package mac
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxConcurrentTagsMatchesCoreGrid(t *testing.T) {
+	// At the default 120 µs period and 32 chirps/bit, the tone grid packs
+	// a handful of FSK pairs below the slow-time Nyquist.
+	n := MaxConcurrentTags(120e-6, 32)
+	if n < 2 || n > 6 {
+		t.Fatalf("capacity %d implausible for the default grid", n)
+	}
+	// Faster bits need wider tones → fewer concurrent tags.
+	fast := MaxConcurrentTags(120e-6, 8)
+	if fast >= n {
+		t.Fatalf("faster bits should cut capacity: %d vs %d", fast, n)
+	}
+	if MaxConcurrentTags(0, 32) != 0 || MaxConcurrentTags(120e-6, 1) != 0 {
+		t.Fatal("degenerate inputs should report zero capacity")
+	}
+}
+
+func TestNetworkThroughputTradeOff(t *testing.T) {
+	const period = 120e-6
+	const cpb = 32
+	cap := MaxConcurrentTags(period, cpb)
+	raw := 1 / (float64(cpb) * period)
+
+	// Below capacity: every node gets the full rate.
+	small, err := NetworkThroughput(1, cpb, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(small.PerNodeBitRate-raw) > 1e-9 {
+		t.Fatalf("single node rate %v, want %v", small.PerNodeBitRate, raw)
+	}
+	// Above capacity: per-node rate drops, aggregate saturates.
+	big, err := NetworkThroughput(4*cap, cpb, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.PerNodeBitRate >= small.PerNodeBitRate {
+		t.Fatal("oversubscribed per-node rate should drop")
+	}
+	if math.Abs(big.AggregateBitRate-raw*float64(cap)) > 1e-9 {
+		t.Fatalf("aggregate should saturate at capacity: %v", big.AggregateBitRate)
+	}
+	if _, err := NetworkThroughput(0, cpb, period); err == nil {
+		t.Fatal("zero tags should fail")
+	}
+}
+
+func TestNetworkThroughputMonotoneProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 1 + int(raw)%20
+		a, err1 := NetworkThroughput(n, 32, 120e-6)
+		b, err2 := NetworkThroughput(n+1, 32, 120e-6)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Per-node rate never increases with more tags; aggregate never
+		// decreases.
+		return b.PerNodeBitRate <= a.PerNodeBitRate+1e-12 &&
+			b.AggregateBitRate >= a.AggregateBitRate-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTDMANoCollisionsFullUtilization(t *testing.T) {
+	res, err := Simulate(TDMA{Radars: 4}, 4, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions != 0 {
+		t.Fatalf("TDMA must not collide, got %d", res.Collisions)
+	}
+	if res.Utilization() != 1.0 {
+		t.Fatalf("TDMA utilization %v, want 1", res.Utilization())
+	}
+	// Fair share.
+	for id, n := range res.PerRadar {
+		if n != 250 {
+			t.Fatalf("radar %d got %d slots, want 250", id, n)
+		}
+	}
+}
+
+func TestSlottedAlohaUtilizationNearTheoretical(t *testing.T) {
+	// n radars at p = 1/n: success probability n·p·(1-p)^(n-1) → 1/e.
+	const n = 8
+	res, err := Simulate(SlottedAloha{P: OptimalAlohaP(n)}, n, 20000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) * (1.0 / n) * math.Pow(1-1.0/n, n-1)
+	if math.Abs(res.Utilization()-want) > 0.03 {
+		t.Fatalf("utilization %v, theory %v", res.Utilization(), want)
+	}
+	if res.Collisions == 0 {
+		t.Fatal("ALOHA should collide sometimes")
+	}
+}
+
+func TestAlohaWorseThanTDMA(t *testing.T) {
+	tdma, _ := Simulate(TDMA{Radars: 5}, 5, 5000, 3)
+	aloha, _ := Simulate(SlottedAloha{P: OptimalAlohaP(5)}, 5, 5000, 3)
+	if aloha.Utilization() >= tdma.Utilization() {
+		t.Fatalf("uncoordinated ALOHA (%v) should not beat TDMA (%v)",
+			aloha.Utilization(), tdma.Utilization())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(TDMA{Radars: 1}, 0, 10, 1); err == nil {
+		t.Error("zero radars should fail")
+	}
+	if _, err := Simulate(TDMA{Radars: 1}, 1, 0, 1); err == nil {
+		t.Error("zero slots should fail")
+	}
+}
+
+func TestSchedulerNamesAndEdges(t *testing.T) {
+	if (TDMA{}).Name() != "tdma" || (SlottedAloha{}).Name() != "slotted-aloha" {
+		t.Fatal("scheduler names")
+	}
+	if (TDMA{Radars: 0}).Transmit(0, 0, nil) {
+		t.Fatal("degenerate TDMA should not transmit")
+	}
+	if OptimalAlohaP(0) != 0 || OptimalAlohaP(4) != 0.25 {
+		t.Fatal("OptimalAlohaP")
+	}
+	var r SimResult
+	if r.Utilization() != 0 {
+		t.Fatal("empty result utilization")
+	}
+}

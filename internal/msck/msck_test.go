@@ -1,0 +1,194 @@
+package msck
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/delayline"
+)
+
+func testConfig(t testing.TB, segments, slopes int) Config {
+	t.Helper()
+	pair, err := delayline.NewCoaxPair(45*delayline.MetersPerInch, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Bandwidth:        1e9,
+		ChirpDuration:    96e-6,
+		Period:           120e-6,
+		Segments:         segments,
+		SlopesPerSegment: slopes,
+		Pair:             pair,
+		CenterFrequency:  9.5e9,
+		SampleRate:       1e6,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := testConfig(t, 4, 8)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mod := func(f func(*Config)) Config {
+		c := testConfig(t, 4, 8)
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mod(func(c *Config) { c.Bandwidth = 0 }),
+		mod(func(c *Config) { c.ChirpDuration = 0 }),
+		mod(func(c *Config) { c.ChirpDuration = 110e-6 }), // duty cycle
+		mod(func(c *Config) { c.Segments = 0 }),
+		mod(func(c *Config) { c.Segments = 20 }),
+		mod(func(c *Config) { c.SlopesPerSegment = 3 }), // not a power of two
+		mod(func(c *Config) { c.SlopesPerSegment = 1 }),
+		mod(func(c *Config) { c.SampleRate = 0 }),
+		mod(func(c *Config) { c.CenterFrequency = 0 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestBitsAndRate(t *testing.T) {
+	s, err := New(testConfig(t, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BitsPerChirp() != 12 {
+		t.Fatalf("4 segments × log2(8) = 12 bits, got %d", s.BitsPerChirp())
+	}
+	if got := s.DataRate(); got != 12/120e-6 {
+		t.Fatalf("data rate %v", got)
+	}
+	// The headline of the extension: more bits per chirp than 5-bit CSSK.
+	if s.DataRate() <= 5/120e-6 {
+		t.Fatal("MSCK should beat CSSK's 5 bits per chirp")
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	s, err := New(testConfig(t, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, s.BitsPerChirp())
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		segs, err := s.EncodeChirp(bits)
+		if err != nil {
+			return false
+		}
+		back, err := s.DecodeChirp(segs)
+		if err != nil || len(back) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if bits[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeValidation(t *testing.T) {
+	s, _ := New(testConfig(t, 2, 4))
+	if _, err := s.EncodeChirp(make([]bool, 3)); err == nil {
+		t.Error("wrong bit count should fail")
+	}
+	if _, err := s.DecodeChirp([]int{0}); err == nil {
+		t.Error("wrong segment count should fail")
+	}
+	if _, err := s.DecodeChirp([]int{0, 9}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := s.SynthesizeChirp([]int{0}, 30, channel.NewNoise(1)); err == nil {
+		t.Error("wrong segment count should fail")
+	}
+	if _, err := s.SynthesizeChirp([]int{0, 9}, 30, channel.NewNoise(1)); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestCleanChannelRoundTrip(t *testing.T) {
+	s, err := New(testConfig(t, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, total, err := s.MeasureBER(40, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs != 0 {
+		t.Fatalf("clean channel should be error free: %d/%d", errs, total)
+	}
+	if total != 20*12 {
+		t.Fatalf("total bits %d", total)
+	}
+}
+
+func TestBERDegradesWithNoise(t *testing.T) {
+	s, err := New(testConfig(t, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHigh, tHigh, err := s.MeasureBER(30, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eLow, tLow, err := s.MeasureBER(-5, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(eLow)/float64(tLow) <= float64(eHigh)/float64(tHigh) {
+		t.Fatalf("BER should rise at low SNR: %d/%d vs %d/%d", eLow, tLow, eHigh, tHigh)
+	}
+}
+
+func TestMoreSegmentsTradeRateForRobustness(t *testing.T) {
+	// At equal SNR, more segments (shorter windows) must not be easier.
+	few, err := New(testConfig(t, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := New(testConfig(t, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.DataRate() <= few.DataRate() {
+		t.Fatal("more segments must carry more bits")
+	}
+	const snr = 8
+	eF, tF, err := few.MeasureBER(snr, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eM, tM, err := many.MeasureBER(snr, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(eM)/float64(tM) < float64(eF)/float64(tF) {
+		t.Fatalf("8 segments (%d/%d) should not beat 2 segments (%d/%d) at %v dB",
+			eM, tM, eF, tF, snr)
+	}
+}
+
+func TestNyquistGuard(t *testing.T) {
+	c := testConfig(t, 4, 8)
+	c.SampleRate = 100e3 // top beat ≈ 79 kHz > 50 kHz Nyquist
+	if _, err := New(c); err == nil {
+		t.Fatal("Nyquist violation should fail")
+	}
+}

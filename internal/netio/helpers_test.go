@@ -1,0 +1,13 @@
+package netio
+
+import (
+	"hash/crc32"
+	"net"
+)
+
+// crc32IEEE and netResolve keep the main test file free of extra imports.
+func crc32IEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+func netResolve(addr string) (*net.UDPAddr, error) {
+	return net.ResolveUDPAddr("udp", addr)
+}

@@ -1,0 +1,291 @@
+package netio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleDescriptor() *FrameDescriptor {
+	return &FrameDescriptor{
+		Sequence:       7,
+		StartFrequency: 9e9,
+		Bandwidth:      1e9,
+		SampleRate:     4e6,
+		Period:         120e-6,
+		DownlinkSNRdB:  18.5,
+		Durations:      []float64{20e-6, 96e-6, 33.3e-6},
+	}
+}
+
+func TestMarshalUnmarshalAllTypes(t *testing.T) {
+	msgs := []Message{
+		sampleDescriptor(),
+		&TagReport{Sequence: 9, TagID: 3, Status: StatusBadCRC, PeriodSamples: 119.97, Payload: []byte("hi")},
+		&ModulationPlan{Sequence: 2, TagID: 1, F0: 2167, F1: 2333, ChirpsPerBit: 32, BitCount: 3, Bits: []byte{0b10100000}},
+		&Command{TagID: 5, Op: OpSetModulation, Arg0: 2500, Arg1: 2667},
+	}
+	for _, m := range msgs {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type(), err)
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%v round trip:\nsent %+v\ngot  %+v", m.Type(), m, got)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	good, _ := Marshal(sampleDescriptor())
+
+	if _, err := Unmarshal(good[:5]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short buffer: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xFF // corrupt CRC
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrCRC) {
+		t.Errorf("bad CRC: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[4] = 200 // unknown type; CRC must be fixed up to reach the type check
+	fixCRC(bad)
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type: %v", err)
+	}
+	// Truncated payload with consistent header length field.
+	bad = append([]byte(nil), good...)
+	bad = bad[:len(bad)-8]
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated body: %v", err)
+	}
+}
+
+// fixCRC recomputes the trailer after test mutations.
+func fixCRC(buf []byte) {
+	body := buf[4 : len(buf)-4]
+	crc := crc32ChecksumIEEE(body)
+	buf[len(buf)-4] = byte(crc >> 24)
+	buf[len(buf)-3] = byte(crc >> 16)
+	buf[len(buf)-2] = byte(crc >> 8)
+	buf[len(buf)-1] = byte(crc)
+}
+
+func crc32ChecksumIEEE(b []byte) uint32 {
+	// Thin indirection so the test does not import hash/crc32 with a
+	// different table by accident.
+	return crc32IEEE(b)
+}
+
+func TestCorruptionDetectedProperty(t *testing.T) {
+	good, _ := Marshal(sampleDescriptor())
+	f := func(pos uint16, bit uint8) bool {
+		buf := append([]byte(nil), good...)
+		p := int(pos) % len(buf)
+		buf[p] ^= 1 << (bit % 8)
+		m, err := Unmarshal(buf)
+		if err != nil {
+			return true // corruption detected
+		}
+		// A flip that still unmarshals must decode to a different message
+		// only if it hit... actually CRC covers everything after magic, so
+		// surviving flips can only hit the magic (making ErrBadMagic) —
+		// reaching here with no error means the flip produced an identical
+		// buffer, which a XOR cannot. Fail.
+		_ = m
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalOversized(t *testing.T) {
+	r := &TagReport{Payload: make([]byte, MaxPayload+1)}
+	if _, err := Marshal(r); !errors.Is(err, ErrOversized) {
+		t.Fatalf("expected ErrOversized, got %v", err)
+	}
+}
+
+func TestFrameDescriptorEmptyDurations(t *testing.T) {
+	fd := &FrameDescriptor{Sequence: 1}
+	buf, err := Marshal(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(*FrameDescriptor).Durations) != 0 {
+		t.Fatal("expected no durations")
+	}
+}
+
+func TestModulationPlanBitsRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, int(n)%64)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		p := &ModulationPlan{TagID: 1, F0: 1e3, F1: 2e3, ChirpsPerBit: 16}
+		p.SetBits(bits)
+		buf, err := Marshal(p)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		back := got.(*ModulationPlan).GetBits()
+		if len(back) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModulationPlanBitCountValidation(t *testing.T) {
+	p := &ModulationPlan{BitCount: 100, Bits: []byte{0}}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("bit count exceeding packed bytes should fail")
+	}
+}
+
+func TestCommandCompactEncoding(t *testing.T) {
+	c := Command{TagID: 3, Op: OpSetSymbolBits, Arg0: 6}
+	body := c.Encode()
+	got, err := DecodeCommand(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TagID != 3 || got.Op != OpSetSymbolBits || got.Arg0 != 6 {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := DecodeCommand([]byte{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("short command should fail")
+	}
+}
+
+func TestMsgTypeAndStatusStrings(t *testing.T) {
+	if TypeFrameDescriptor.String() != "frame-descriptor" || MsgType(99).String() != "MsgType(99)" {
+		t.Fatal("MsgType strings")
+	}
+	if StatusOK.String() != "ok" || ReportStatus(9).String() != "ReportStatus(9)" {
+		t.Fatal("ReportStatus strings")
+	}
+}
+
+func TestUDPTransportRoundTrip(t *testing.T) {
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	want := sampleDescriptor()
+	if err := a.Send(b.Addr(), want); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := b.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from.Port != a.Addr().Port {
+		t.Fatalf("sender port %d, want %d", from.Port, a.Addr().Port)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestUDPRecvTimeout(t *testing.T) {
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	start := time.Now()
+	_, _, err = a.Recv(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestUDPMalformedDatagramSurfacesError(t *testing.T) {
+	a, _ := Listen("127.0.0.1:0")
+	defer a.Close()
+	b, _ := Listen("127.0.0.1:0")
+	defer b.Close()
+	// Raw garbage datagram.
+	raw, err := Marshal(sampleDescriptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] = 'Z'
+	conn := a
+	if _, err := rawSend(conn, b.Addr().String(), raw); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = b.Recv(2 * time.Second)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("expected ErrBadMagic, got %v", err)
+	}
+}
+
+// rawSend pushes unvalidated bytes through the node's socket.
+func rawSend(n *Node, addr string, buf []byte) (int, error) {
+	ua, err := netResolve(addr)
+	if err != nil {
+		return 0, err
+	}
+	return n.conn.WriteToUDP(buf, ua)
+}
+
+func TestPayloadBytesAreCopied(t *testing.T) {
+	buf, _ := Marshal(&TagReport{Payload: []byte{1, 2, 3}})
+	m, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.(*TagReport)
+	buf[HeaderSize+16] = 0xEE // mutate the wire buffer
+	if !bytes.Equal(r.Payload, []byte{1, 2, 3}) {
+		t.Fatal("decoded payload must not alias the wire buffer")
+	}
+}

@@ -1,0 +1,68 @@
+package netio
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Node is a UDP endpoint speaking the netio protocol, one datagram per
+// message.
+type Node struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// Listen opens a UDP endpoint on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Node, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("netio: listen %q: %w", addr, err)
+	}
+	return &Node{conn: conn, buf: make([]byte, 65536)}, nil
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() *net.UDPAddr {
+	return n.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// Close releases the socket.
+func (n *Node) Close() error { return n.conn.Close() }
+
+// Send marshals and transmits one message to addr.
+func (n *Node) Send(addr *net.UDPAddr, m Message) error {
+	buf, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	if _, err := n.conn.WriteToUDP(buf, addr); err != nil {
+		return fmt.Errorf("netio: send %v: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// Recv blocks for up to timeout (0 = forever) and returns the next valid
+// message and its sender. Malformed datagrams are returned as errors, not
+// silently dropped, so callers can count them.
+func (n *Node) Recv(timeout time.Duration) (Message, *net.UDPAddr, error) {
+	if timeout > 0 {
+		if err := n.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, nil, err
+		}
+		defer n.conn.SetReadDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	nr, from, err := n.conn.ReadFromUDP(n.buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := Unmarshal(n.buf[:nr])
+	if err != nil {
+		return nil, from, err
+	}
+	return m, from, nil
+}

@@ -1,0 +1,224 @@
+package radar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"biscatter/internal/dsp"
+)
+
+// ErrTagNotFound means no range bin carried the expected modulation
+// signature above the detection threshold.
+var ErrTagNotFound = errors.New("radar: tag signature not found")
+
+// DetectionThreshold is the required ratio between the signature peak and
+// the median signature power across range bins. The extreme-value statistics
+// of a few hundred noise bins reach ≈10× the median, so the threshold sits
+// above that.
+const DetectionThreshold = 20.0
+
+// Detection is the result of the matched-filter tag search.
+type Detection struct {
+	// Range is the refined tag range estimate in meters.
+	Range float64
+	// Bin is the range bin of the peak.
+	Bin int
+	// SNRdB is the signature power at the peak over the median signature
+	// power across bins — the detection confidence.
+	SNRdB float64
+}
+
+// MagnitudeMatrix converts a corrected complex matrix into per-chirp
+// magnitude range profiles. Slow-time (across-chirp) processing runs on
+// magnitudes: with CSSK the per-chirp window length enters the spectral
+// phase, so complex profiles of different slopes decohere, while magnitudes
+// stay aligned after IF correction — static clutter contributes only DC and
+// the tag's switching contributes the modulation tone.
+func MagnitudeMatrix(matrix [][]complex128) [][]float64 {
+	out := make([][]float64, len(matrix))
+	for i, row := range matrix {
+		m := make([]float64, len(row))
+		for j, v := range row {
+			m[j] = math.Hypot(real(v), imag(v))
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// SubtractBackgroundMag subtracts the first chirp's magnitude profile from
+// every row in place and returns the matrix — the paper's first-chirp
+// background subtraction (§3.3) in the magnitude domain.
+func SubtractBackgroundMag(matrix [][]float64) [][]float64 {
+	if len(matrix) == 0 {
+		return matrix
+	}
+	bg := append([]float64(nil), matrix[0]...)
+	for i := range matrix {
+		for j := range matrix[i] {
+			matrix[i][j] -= bg[j]
+		}
+	}
+	return matrix
+}
+
+// slowTimeTonePower returns the power of the slow-time tone at the given
+// modulation frequency for one range bin of the magnitude matrix.
+func slowTimeTonePower(matrix [][]float64, bin int, fMod, chirpRate float64) float64 {
+	n := len(matrix)
+	col := make([]float64, n)
+	for i := 0; i < n; i++ {
+		col[i] = matrix[i][bin]
+	}
+	return dsp.GoertzelPower(col, fMod, chirpRate)
+}
+
+// SignatureProfile computes, for every range bin, the power of the
+// modulation tone at fMod across slow time. The tag's square-wave switching
+// concentrates power at its modulation frequency (the sinc signature of
+// §3.3), so this is the matched-filter statistic.
+func (r *Radar) SignatureProfile(matrix [][]float64, fMod, period float64) []float64 {
+	if len(matrix) == 0 {
+		return nil
+	}
+	chirpRate := 1 / period
+	nBins := len(matrix[0])
+	out := make([]float64, nBins)
+	for b := 0; b < nBins; b++ {
+		out[b] = slowTimeTonePower(matrix, b, fMod, chirpRate)
+	}
+	return out
+}
+
+// DetectTag locates the backscatter tag that modulates at fMod by finding
+// the range bin with the strongest signature and refining the peak with
+// parabolic interpolation — the step that turns bin-width resolution into
+// centimeter-level localization.
+func (r *Radar) DetectTag(matrix [][]float64, grid []float64, fMod, period float64) (Detection, error) {
+	return r.DetectTagExcluding(matrix, grid, fMod, period, nil, 0)
+}
+
+// DetectTagExcluding is DetectTag with an exclusion mask: bins within
+// maskWidth of any excluded bin are skipped. Multi-tag deployments detect
+// nodes in order of decreasing signature strength and mask the claimed bins,
+// because a strong nearby tag's modulation harmonics and bit-pattern
+// sidebands can out-power a weak distant tag's fundamental at the strong
+// tag's own range bin (the backscatter near-far problem, §6).
+func (r *Radar) DetectTagExcluding(matrix [][]float64, grid []float64, fMod, period float64, exclude []int, maskWidth int) (Detection, error) {
+	prof := r.SignatureProfile(matrix, fMod, period)
+	if len(prof) < 3 {
+		return Detection{}, fmt.Errorf("radar: signature profile too short (%d bins)", len(prof))
+	}
+	med := median(prof) // from the unmasked profile: a stable noise estimate
+	for _, e := range exclude {
+		lo, hi := e-maskWidth, e+maskWidth
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(prof) {
+			hi = len(prof) - 1
+		}
+		for b := lo; b <= hi; b++ {
+			prof[b] = 0
+		}
+	}
+	bin, peak := dsp.MaxIndex(prof)
+	if med <= 0 || peak < DetectionThreshold*med {
+		return Detection{}, ErrTagNotFound
+	}
+	delta := 0.0
+	if bin > 0 && bin < len(prof)-1 {
+		// Interpolate on amplitude (√power) for a less biased vertex.
+		amps := []float64{math.Sqrt(prof[bin-1]), math.Sqrt(prof[bin]), math.Sqrt(prof[bin+1])}
+		d, _ := dsp.ParabolicPeak(amps, 1)
+		delta = d
+	}
+	binWidth := grid[1] - grid[0]
+	return Detection{
+		Range: grid[bin] + delta*binWidth,
+		Bin:   bin,
+		SNRdB: 10 * math.Log10(peak/med),
+	}, nil
+}
+
+// median returns the median of x without modifying it.
+func median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), x...)
+	insertionSort(cp)
+	return cp[len(cp)/2]
+}
+
+func insertionSort(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// UplinkFSKConfig describes the tag's slow-time FSK parameters as known to
+// the radar.
+type UplinkFSKConfig struct {
+	// F0 and F1 are the modulation frequencies for 0- and 1-bits.
+	F0, F1 float64
+	// ChirpsPerBit is the bit window length in chirps.
+	ChirpsPerBit int
+	// Period is the chirp period in seconds.
+	Period float64
+}
+
+// DecodeUplinkFSK demodulates the tag's uplink bits from the magnitude
+// matrix at the detected range bin: for each bit window, compare slow-time
+// tone power at F1 vs F0.
+func (r *Radar) DecodeUplinkFSK(matrix [][]float64, bin int, cfg UplinkFSKConfig) ([]bool, error) {
+	if cfg.ChirpsPerBit < 2 {
+		return nil, fmt.Errorf("radar: chirps per bit %d must be at least 2", cfg.ChirpsPerBit)
+	}
+	if bin < 0 || len(matrix) == 0 || bin >= len(matrix[0]) {
+		return nil, fmt.Errorf("radar: range bin %d out of bounds", bin)
+	}
+	chirpRate := 1 / cfg.Period
+	nBits := len(matrix) / cfg.ChirpsPerBit
+	bits := make([]bool, 0, nBits)
+	for w := 0; w < nBits; w++ {
+		sub := matrix[w*cfg.ChirpsPerBit : (w+1)*cfg.ChirpsPerBit]
+		p0 := slowTimeTonePower(sub, bin, cfg.F0, chirpRate)
+		p1 := slowTimeTonePower(sub, bin, cfg.F1, chirpRate)
+		bits = append(bits, p1 > p0)
+	}
+	return bits, nil
+}
+
+// DecodeUplinkOOK demodulates on-off keyed uplink bits: tone presence at
+// fMod within a bit window is a 1. The threshold adapts to the packet by
+// splitting the observed window powers at the midpoint between the strongest
+// and weakest windows.
+func (r *Radar) DecodeUplinkOOK(matrix [][]float64, bin int, fMod float64, chirpsPerBit int, period float64) ([]bool, error) {
+	if chirpsPerBit < 2 {
+		return nil, fmt.Errorf("radar: chirps per bit %d must be at least 2", chirpsPerBit)
+	}
+	if bin < 0 || len(matrix) == 0 || bin >= len(matrix[0]) {
+		return nil, fmt.Errorf("radar: range bin %d out of bounds", bin)
+	}
+	chirpRate := 1 / period
+	nBits := len(matrix) / chirpsPerBit
+	powers := make([]float64, nBits)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for w := 0; w < nBits; w++ {
+		sub := matrix[w*chirpsPerBit : (w+1)*chirpsPerBit]
+		p := slowTimeTonePower(sub, bin, fMod, chirpRate)
+		powers[w] = p
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+	}
+	thr := (lo + hi) / 2
+	bits := make([]bool, nBits)
+	for w, p := range powers {
+		bits[w] = p > thr
+	}
+	return bits, nil
+}

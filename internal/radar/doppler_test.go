@@ -1,0 +1,107 @@
+package radar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biscatter/internal/channel"
+)
+
+func TestEstimateVelocityStaticTarget(t *testing.T) {
+	r := testRadar(t, 70)
+	b := testBuilder(t)
+	frame, _ := b.BuildUniform(128, 60e-6)
+	cap := r.Observe(frame, Scene{Clutter: []channel.Reflector{{Range: 3, RCSdBsm: 5}}})
+	matrix, _ := r.CorrectedMatrix(cap)
+	bin := StrongestBin(matrix)
+	v, err := r.EstimateVelocity(matrix, bin, tPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v) > 0.1 {
+		t.Fatalf("static target measured at %v m/s", v)
+	}
+}
+
+func TestEstimateVelocityMovingTargetProperty(t *testing.T) {
+	r := testRadar(t, 71)
+	b := testBuilder(t)
+	vmax := r.MaxUnambiguousVelocity(tPeriod)
+	f := func(raw int16) bool {
+		want := float64(raw) / math.MaxInt16 * 0.8 * vmax // within ±80% of span
+		frame, err := b.BuildUniform(128, 60e-6)
+		if err != nil {
+			return false
+		}
+		scene := Scene{Clutter: []channel.Reflector{{Range: 3.5, RCSdBsm: 5, Velocity: want}}}
+		cap := r.Observe(frame, scene)
+		matrix, _ := r.CorrectedMatrix(cap)
+		bin := StrongestBin(matrix)
+		got, err := r.EstimateVelocity(matrix, bin, tPeriod)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateVelocityValidation(t *testing.T) {
+	r := testRadar(t, 72)
+	matrix := [][]complex128{{1, 2}, {3, 4}}
+	if _, err := r.EstimateVelocity(matrix, 0, tPeriod); err == nil {
+		t.Error("too few chirps should fail")
+	}
+	long := make([][]complex128, 16)
+	for i := range long {
+		long[i] = []complex128{1}
+	}
+	if _, err := r.EstimateVelocity(long, 5, tPeriod); err == nil {
+		t.Error("out-of-range bin should fail")
+	}
+}
+
+func TestMaxUnambiguousVelocityScale(t *testing.T) {
+	r := testRadar(t, 73)
+	// λ ≈ 31.6 mm at 9.5 GHz, T = 120 µs → ±65.7 m/s... with the 120 µs
+	// period: λ/(4T) = 0.0316/(4·1.2e-4) ≈ 65.7 m/s.
+	v := r.MaxUnambiguousVelocity(tPeriod)
+	if v < 60 || v > 70 {
+		t.Fatalf("unambiguous velocity %v m/s, want ≈66", v)
+	}
+}
+
+func TestStrongestBinEdge(t *testing.T) {
+	if StrongestBin(nil) != -1 {
+		t.Fatal("empty matrix should return -1")
+	}
+}
+
+func TestTagDetectionSurvivesSlowTagMotion(t *testing.T) {
+	// A tag drifting at walking-ish speed moves ~1 cm over a 64-chirp
+	// frame; detection and localization must hold.
+	r := testRadar(t, 74)
+	b := testBuilder(t)
+	const nChirps = 64
+	const fMod = 2e3
+	frame, _ := b.BuildUniform(nChirps, 60e-6)
+	scene := Scene{Tags: []TagEcho{{
+		Range:    3.0,
+		Velocity: 1.2, // m/s
+		States:   toneStates(fMod, nChirps),
+		PowerDBm: -95,
+	}}}
+	cap := r.Observe(frame, scene)
+	cm, grid := r.CorrectedMatrix(cap)
+	matrix := SubtractBackgroundMag(MagnitudeMatrix(cm))
+	det, err := r.DetectTag(matrix, grid, fMod, tPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(det.Range-3.0) > 0.08 {
+		t.Fatalf("moving-tag localization error %.1f cm", math.Abs(det.Range-3.0)*100)
+	}
+}

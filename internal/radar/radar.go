@@ -1,0 +1,349 @@
+// Package radar implements the BiScatter radar-side receive pipeline (§3.3):
+// dechirped IF synthesis for a scene of clutter and modulating tags, range
+// FFTs, the IF-correction algorithm that aligns range profiles across
+// varying CSSK chirp slopes (Fig. 7), background subtraction, range-Doppler
+// processing, matched-filter tag detection with centimeter-level range
+// refinement, and slow-time uplink demodulation.
+package radar
+
+import (
+	"fmt"
+	"math"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/dsp"
+	"biscatter/internal/fmcw"
+)
+
+// AbsorptiveResidualDB is the residual reflection of the tag in absorptive
+// mode relative to reflective mode. The non-reflective switch terminates the
+// second antenna into 50 Ω, but a small structural reflection remains.
+const AbsorptiveResidualDB = -20.0
+
+// Config parameterizes the radar receiver.
+type Config struct {
+	// Chirp carries the base waveform parameters (f0, B, fs); per-chirp
+	// durations come from the frame.
+	Chirp fmcw.ChirpParams
+	// Link is the budget used to scale echo and noise powers.
+	Link channel.Link
+	// NFFT is the range FFT size (zero-padded); default 4096. Generous
+	// zero-padding matters beyond resolution: the IF correction resamples
+	// each slope's spectrum onto the common range grid, and the residual
+	// interpolation error on strong clutter must stay far below the tag
+	// echo (tags sit ~50 dB below walls).
+	NFFT int
+	// RangeBins is the size of the common range grid after IF correction;
+	// default 512.
+	RangeBins int
+	// MaxRange is the extent of the common range grid in meters. It must
+	// not exceed the unambiguous range of the steepest chirp; default is
+	// that bound.
+	MaxRange float64
+	// Seed seeds the receiver noise.
+	Seed int64
+}
+
+// Radar is the receive-side processor.
+type Radar struct {
+	cfg   Config
+	noise *channel.Noise
+	plan  *dsp.FFTPlan
+}
+
+// New builds a Radar, applying defaults.
+func New(cfg Config) (*Radar, error) {
+	if err := cfg.Chirp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Link.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NFFT == 0 {
+		cfg.NFFT = 4096
+	}
+	if !dsp.IsPowerOfTwo(cfg.NFFT) {
+		return nil, fmt.Errorf("radar: NFFT %d must be a power of two", cfg.NFFT)
+	}
+	if cfg.RangeBins == 0 {
+		cfg.RangeBins = 512
+	}
+	if cfg.RangeBins < 8 {
+		return nil, fmt.Errorf("radar: RangeBins %d too small", cfg.RangeBins)
+	}
+	plan, err := dsp.NewFFTPlan(cfg.NFFT)
+	if err != nil {
+		return nil, err
+	}
+	return &Radar{cfg: cfg, noise: channel.NewNoise(cfg.Seed), plan: plan}, nil
+}
+
+// Config returns the radar's configuration with defaults applied.
+func (r *Radar) Config() Config { return r.cfg }
+
+// maxRangeFor returns the unambiguous range of a chirp of the given
+// duration.
+func (r *Radar) maxRangeFor(duration float64) float64 {
+	p := r.cfg.Chirp
+	p.Duration = duration
+	return p.MaxRange()
+}
+
+// commonMaxRange returns the extent of the common range grid for a frame:
+// the configured MaxRange, or the unambiguous range of the steepest chirp in
+// the frame (interpolating beyond it would extrapolate).
+func (r *Radar) commonMaxRange(frame *fmcw.Frame) float64 {
+	if r.cfg.MaxRange > 0 {
+		return r.cfg.MaxRange
+	}
+	minDur := math.Inf(1)
+	for _, c := range frame.Chirps {
+		if c.Params.Duration < minDur {
+			minDur = c.Params.Duration
+		}
+	}
+	return r.maxRangeFor(minDur)
+}
+
+// TagEcho is a modulating backscatter tag in the radar scene.
+type TagEcho struct {
+	// Range is the tag distance in meters (at the frame start).
+	Range float64
+	// Velocity is the tag's radial velocity in m/s (positive = receding).
+	Velocity float64
+	// States holds the per-chirp switch state (true = reflective); its
+	// length must cover the frame.
+	States []bool
+	// PowerDBm is the echo power in reflective mode at the radar input.
+	PowerDBm float64
+}
+
+// Scene is everything the radar illuminates during a frame.
+type Scene struct {
+	// Clutter is the static multipath environment.
+	Clutter []channel.Reflector
+	// Tags are the modulating backscatter nodes.
+	Tags []TagEcho
+}
+
+// Capture is the raw dechirped IF data for one frame: one complex sample
+// vector per chirp (lengths vary with chirp duration).
+type Capture struct {
+	Frame *fmcw.Frame
+	IF    [][]complex128
+}
+
+// Observe synthesizes the dechirped IF capture for a frame illuminating the
+// scene. Echo amplitudes are absolute (√mW units) and receiver thermal noise
+// is added at the link's noise floor over the IF bandwidth.
+func (r *Radar) Observe(frame *fmcw.Frame, scene Scene) *Capture {
+	cap := &Capture{Frame: frame, IF: make([][]complex128, len(frame.Chirps))}
+	noiseSigma := math.Pow(10, channel.ThermalNoiseDBm(r.cfg.Chirp.SampleRate, r.cfg.Link.RadarNoiseFigureDB)/20)
+
+	type scatterer struct {
+		rng float64
+		vel float64
+		amp float64
+		tag int // -1 for clutter, else index into scene.Tags
+	}
+	var scats []scatterer
+	for _, c := range scene.Clutter {
+		scats = append(scats, scatterer{
+			rng: c.Range,
+			vel: c.Velocity,
+			amp: math.Pow(10, r.cfg.Link.EchoPowerDBm(c)/20),
+			tag: -1,
+		})
+	}
+	for ti, tg := range scene.Tags {
+		scats = append(scats, scatterer{
+			rng: tg.Range,
+			vel: tg.Velocity,
+			amp: math.Pow(10, tg.PowerDBm/20),
+			tag: ti,
+		})
+	}
+
+	residual := math.Pow(10, AbsorptiveResidualDB/20)
+	fs := r.cfg.Chirp.SampleRate
+	for i, c := range frame.Chirps {
+		n := c.Params.SamplesPerChirp()
+		buf := make([]complex128, n)
+		chirpStart := float64(i) * frame.Period
+		for _, sc := range scats {
+			amp := sc.amp
+			if sc.tag >= 0 {
+				st := scene.Tags[sc.tag].States
+				if i < len(st) && !st[i] {
+					amp *= residual
+				}
+			}
+			// Range at this chirp's start: moving scatterers migrate across
+			// the frame and accrue the Doppler phase progression.
+			rng := sc.rng + sc.vel*chirpStart
+			fIF := c.Params.IFFrequency(rng)
+			dphi := 2 * math.Pi * fIF / fs
+			ph := geomPhase(rng, r.cfg.Chirp.StartFrequency)
+			for k := 0; k < n; k++ {
+				buf[k] += complex(amp*math.Cos(ph), amp*math.Sin(ph))
+				ph += dphi
+			}
+		}
+		r.noise.AddComplex(buf, noiseSigma)
+		cap.IF[i] = buf
+	}
+	return cap
+}
+
+// geomPhase is the round-trip carrier phase of a scatterer at range rng.
+func geomPhase(rng, f0 float64) float64 {
+	return math.Mod(4*math.Pi*f0*rng/fmcw.SpeedOfLight, 2*math.Pi)
+}
+
+// rangeSpectrum computes the windowed zero-padded range FFT of one chirp's
+// IF samples. The Hann window is evaluated over the chirp's nominal duration
+// rather than its integer sample count: the sample count quantizes the
+// window length by up to half a sample, which would wobble the window's
+// range-domain width differently per CSSK slope and leak strong clutter
+// through background subtraction.
+func (r *Radar) rangeSpectrum(ifSamples []complex128, duration float64) []complex128 {
+	buf := make([]complex128, r.cfg.NFFT)
+	n := len(ifSamples)
+	if n > r.cfg.NFFT {
+		n = r.cfg.NFFT
+	}
+	span := duration * r.cfg.Chirp.SampleRate
+	var sumW float64
+	for k := 0; k < n; k++ {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(k)/span))
+		buf[k] = ifSamples[k] * complex(w, 0)
+		sumW += w
+	}
+	r.plan.ForwardInto(buf, buf)
+	if sumW > 0 {
+		// Normalize by the window's coherent sum so a unit-amplitude
+		// scatterer produces the same peak height regardless of the chirp
+		// duration — without this, CSSK's varying chirp lengths amplitude-
+		// modulate every range bin and corrupt slow-time processing.
+		s := complex(1/sumW, 0)
+		for k := range buf {
+			buf[k] *= s
+		}
+	}
+	return buf
+}
+
+// RawRangeProfile returns the uncorrected magnitude range profile of chirp i
+// together with the per-bin ranges implied by that chirp's own slope
+// (Eq. 15). Profiles of different-slope chirps are mutually inconsistent —
+// the Fig. 7(a) ambiguity.
+func (r *Radar) RawRangeProfile(cap *Capture, i int) (mags, ranges []float64) {
+	c := cap.Frame.Chirps[i]
+	spec := r.rangeSpectrum(cap.IF[i], c.Params.Duration)
+	// The IF is complex (IQ receiver), so all NFFT bins are usable and bin
+	// NFFT-1 approaches the full unambiguous range rmax.
+	full := r.cfg.NFFT
+	mags = make([]float64, full)
+	ranges = make([]float64, full)
+	rmax := r.maxRangeFor(c.Params.Duration)
+	for n := 0; n < full; n++ {
+		v := spec[n]
+		mags[n] = math.Hypot(real(v), imag(v))
+		// The FFT spans fs across NFFT bins, and an IF of fs corresponds
+		// to rmax at this chirp's slope (Eq. 4), so bin n maps to
+		// n/NFFT·rmax (Eq. 15).
+		ranges[n] = float64(n) / float64(r.cfg.NFFT) * rmax
+	}
+	return mags, ranges
+}
+
+// CorrectedMatrix applies BiScatter's IF correction: every chirp's complex
+// range profile is converted from FFT bins to meters using its own slope and
+// resampled onto the frame's common range grid, so slow-time processing sees
+// aligned profiles despite the varying CSSK slopes.
+func (r *Radar) CorrectedMatrix(cap *Capture) ([][]complex128, []float64) {
+	grid := r.RangeGrid(cap.Frame)
+	out := make([][]complex128, len(cap.IF))
+	for i := range cap.IF {
+		c := cap.Frame.Chirps[i]
+		spec := r.rangeSpectrum(cap.IF[i], c.Params.Duration)
+		full := r.cfg.NFFT
+		re := make([]float64, full)
+		im := make([]float64, full)
+		for n := 0; n < full; n++ {
+			re[n] = real(spec[n])
+			im[n] = imag(spec[n])
+		}
+		rmax := r.maxRangeFor(c.Params.Duration)
+		step := rmax / float64(r.cfg.NFFT)
+		reG := dsp.ResampleCubic(re, 0, step, grid)
+		imG := dsp.ResampleCubic(im, 0, step, grid)
+		row := make([]complex128, len(grid))
+		for n := range grid {
+			row[n] = complex(reG[n], imG[n])
+		}
+		out[i] = row
+	}
+	return out, grid
+}
+
+// RangeGrid returns the common range grid for a frame.
+func (r *Radar) RangeGrid(frame *fmcw.Frame) []float64 {
+	maxR := r.commonMaxRange(frame)
+	grid := make([]float64, r.cfg.RangeBins)
+	for i := range grid {
+		grid[i] = float64(i) / float64(r.cfg.RangeBins) * maxR
+	}
+	return grid
+}
+
+// SubtractBackground subtracts the first chirp's corrected profile from
+// every row in place and returns the matrix. BiScatter uses the first chirp
+// of each frame for background subtraction to remove static multipath
+// (§3.3); the modulating tag survives because its amplitude toggles.
+func SubtractBackground(matrix [][]complex128) [][]complex128 {
+	if len(matrix) == 0 {
+		return matrix
+	}
+	bg := append([]complex128(nil), matrix[0]...)
+	for i := range matrix {
+		for j := range matrix[i] {
+			matrix[i][j] -= bg[j]
+		}
+	}
+	return matrix
+}
+
+// RangeDoppler computes the slow-time FFT across chirps for every range bin
+// of a corrected matrix, returning magnitudes indexed [doppler][range].
+func (r *Radar) RangeDoppler(matrix [][]complex128) [][]float64 {
+	nChirps := len(matrix)
+	if nChirps == 0 {
+		return nil
+	}
+	nBins := len(matrix[0])
+	nfft := dsp.NextPowerOfTwo(nChirps)
+	plan, err := dsp.NewFFTPlan(nfft)
+	if err != nil {
+		panic(err) // unreachable: nfft is a power of two
+	}
+	out := make([][]float64, nfft)
+	for d := range out {
+		out[d] = make([]float64, nBins)
+	}
+	col := make([]complex128, nfft)
+	for b := 0; b < nBins; b++ {
+		for i := range col {
+			if i < nChirps {
+				col[i] = matrix[i][b]
+			} else {
+				col[i] = 0
+			}
+		}
+		plan.ForwardInto(col, col)
+		for d := 0; d < nfft; d++ {
+			out[d][b] = math.Hypot(real(col[d]), imag(col[d]))
+		}
+	}
+	return out
+}

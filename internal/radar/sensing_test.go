@@ -1,0 +1,85 @@
+package radar
+
+import (
+	"math"
+	"testing"
+
+	"biscatter/internal/channel"
+)
+
+func TestEnvironmentMapFindsClutter(t *testing.T) {
+	r := testRadar(t, 30)
+	b := testBuilder(t)
+	frame, _ := b.BuildUniform(32, 60e-6)
+	clutter := []channel.Reflector{
+		{Range: 1.8, RCSdBsm: -5},
+		{Range: 4.5, RCSdBsm: 0},
+		{Range: 7.3, RCSdBsm: 3},
+	}
+	cap := r.Observe(frame, Scene{Clutter: clutter})
+	cm, grid := r.CorrectedMatrix(cap)
+	targets, err := r.EnvironmentMap(MagnitudeMatrix(cm), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) < len(clutter) {
+		t.Fatalf("found %d targets, want at least %d: %+v", len(targets), len(clutter), targets)
+	}
+	for _, c := range clutter {
+		best := math.Inf(1)
+		for _, tgt := range targets {
+			if d := math.Abs(tgt.Range - c.Range); d < best {
+				best = d
+			}
+		}
+		if best > 0.1 {
+			t.Fatalf("reflector at %.1f m not mapped (closest %.2f m off): %+v", c.Range, best, targets)
+		}
+	}
+}
+
+func TestEnvironmentMapSurvivesCSSK(t *testing.T) {
+	// The sensing map must hold during communication frames, thanks to the
+	// IF correction.
+	r := testRadar(t, 31)
+	b := testBuilder(t)
+	frame, err := b.Build([]float64{24e-6, 96e-6, 48e-6, 72e-6, 32e-6, 88e-6, 40e-6, 60e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := r.Observe(frame, Scene{Clutter: []channel.Reflector{{Range: 3.9, RCSdBsm: 2}}})
+	cm, grid := r.CorrectedMatrix(cap)
+	targets, err := r.EnvironmentMap(MagnitudeMatrix(cm), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tgt := range targets {
+		if math.Abs(tgt.Range-3.9) < 0.1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reflector not mapped under CSSK: %+v", targets)
+	}
+}
+
+func TestEnvironmentMapSortedAndValidated(t *testing.T) {
+	r := testRadar(t, 32)
+	if _, err := r.EnvironmentMap(nil, nil); err == nil {
+		t.Fatal("empty capture should fail")
+	}
+	b := testBuilder(t)
+	frame, _ := b.BuildUniform(16, 60e-6)
+	cap := r.Observe(frame, Scene{Clutter: channel.OfficeClutter()})
+	cm, grid := r.CorrectedMatrix(cap)
+	targets, err := r.EnvironmentMap(MagnitudeMatrix(cm), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(targets); i++ {
+		if targets[i].Range < targets[i-1].Range {
+			t.Fatal("targets not sorted by range")
+		}
+	}
+}

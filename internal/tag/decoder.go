@@ -1,0 +1,430 @@
+package tag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"biscatter/internal/cssk"
+	"biscatter/internal/dsp"
+	"biscatter/internal/packet"
+)
+
+// Method selects the per-chirp spectral estimator.
+type Method int
+
+// Decoding methods. Goertzel is the paper's low-power choice — the tag only
+// needs power at the constellation beats, not the full spectrum (§3.2.2 and
+// §4.1); the FFT path exists for the ablation comparison.
+const (
+	MethodGoertzel Method = iota
+	MethodFFT
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodGoertzel:
+		return "goertzel"
+	case MethodFFT:
+		return "fft"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Errors returned by the decoder.
+var (
+	// ErrNoPeriod means the chirp period could not be estimated — the tag
+	// saw no periodic radar signal.
+	ErrNoPeriod = errors.New("tag: chirp period not detected")
+	// ErrTooShort means the capture holds fewer than two chirp periods.
+	ErrTooShort = errors.New("tag: capture too short")
+)
+
+// Decoder implements the tag's decoding algorithm (§3.2.2):
+//
+//  1. a coarse pass over many header bits estimates the chirp period
+//     T_period (the paper's "large FFT window" step, realized here as the
+//     equivalent autocorrelation of the power envelope);
+//  2. the power envelope folded at the period locates the inter-chirp gap,
+//     aligning the per-chirp analysis window (avoiding the Fig. 6 failure
+//     modes);
+//  3. each chirp slot is classified against the CSSK constellation with a
+//     per-candidate matched window: the Goertzel power at the candidate
+//     beat over the candidate's own chirp duration.
+type Decoder struct {
+	// Alphabet is the agreed CSSK constellation.
+	Alphabet *cssk.Alphabet
+	// SampleRate is the ADC rate (must match the front-end).
+	SampleRate float64
+	// Method selects Goertzel (default) or full-FFT classification.
+	Method Method
+}
+
+// NewDecoder builds a decoder.
+func NewDecoder(alphabet *cssk.Alphabet, sampleRate float64) (*Decoder, error) {
+	if alphabet == nil {
+		return nil, fmt.Errorf("tag: alphabet is required")
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("tag: sample rate %v Hz must be positive", sampleRate)
+	}
+	beats := alphabet.Beats()
+	if hi := beats[len(beats)-1]; hi >= sampleRate/2 {
+		return nil, fmt.Errorf("tag: max beat %v Hz violates Nyquist at fs=%v Hz", hi, sampleRate)
+	}
+	return &Decoder{Alphabet: alphabet, SampleRate: sampleRate}, nil
+}
+
+// Diagnostics reports what the decoding pipeline inferred about the capture.
+type Diagnostics struct {
+	// PeriodSamples is the estimated chirp period in (fractional) samples.
+	PeriodSamples float64
+	// ChirpStart is the estimated offset of the first full chirp start.
+	ChirpStart int
+	// Symbols is the number of chirp slots classified.
+	Symbols int
+}
+
+// EstimatePeriod estimates the chirp period in samples from the capture's
+// power envelope. It returns ErrNoPeriod when no periodic structure is
+// present.
+func (d *Decoder) EstimatePeriod(x []float64) (float64, error) {
+	if len(x) < 256 {
+		return 0, ErrTooShort
+	}
+	// Power envelope. The detector tone rides a 2·Δf ripple on top of the
+	// burst envelope; two cascaded moving averages (≈ triangular smoothing)
+	// suppress it while keeping the chirp-period fundamental.
+	power := make([]float64, len(x))
+	for i, v := range x {
+		power[i] = v * v
+	}
+	smoothWidth := int(25e-6 * d.SampleRate)
+	if smoothWidth < 3 {
+		smoothWidth = 3
+	}
+	env := dsp.MovingAverage(dsp.MovingAverage(power, smoothWidth), smoothWidth)
+	dsp.RemoveDC(env)
+	// Chirp periods of interest: 30 µs … 1 ms.
+	minLag := int(30e-6 * d.SampleRate)
+	if minLag < 4 {
+		minLag = 4
+	}
+	maxLag := int(1e-3 * d.SampleRate)
+	if maxLag > len(x)/2 {
+		maxLag = len(x) / 2
+	}
+	if maxLag <= minLag {
+		return 0, ErrTooShort
+	}
+	r := dsp.Autocorrelation(env, maxLag+1)
+	// The biased autocorrelation decays with lag, so the global maximum in
+	// range lands on the fundamental period rather than one of its
+	// multiples.
+	bestLag, bestVal := dsp.MaxIndexRange(r, minLag, maxLag+1)
+	if bestVal <= 0.2*r[0] {
+		return 0, ErrNoPeriod
+	}
+	delta, _ := dsp.ParabolicPeak(r, bestLag)
+	coarse := float64(bestLag) + delta
+	// The autocorrelation apex is smeared by the smoothing and by the
+	// mixed chirp durations of a CSSK payload, and any fractional-sample
+	// bias accumulates across the k·period slot windows. Refine by grid
+	// search on fold contrast: the true period folds the inter-chirp gap
+	// into the deepest quiet region.
+	//
+	// The coarse peak can also land on a multiple of the true period, and a
+	// multiple folds just as cleanly — so test the sub-multiples and prefer
+	// the smallest period whose contrast is close to the best.
+	minPeriod := float64(minLag)
+	type cand struct{ period, score float64 }
+	var cands []cand
+	bestScore := math.Inf(-1)
+	for m := 1; m <= 8; m++ {
+		p0 := coarse / float64(m)
+		if p0 < minPeriod {
+			break
+		}
+		p := d.refinePeriod(power, p0)
+		s := foldContrast(power, p)
+		cands = append(cands, cand{p, s})
+		if s > bestScore {
+			bestScore = s
+		}
+	}
+	for i := len(cands) - 1; i >= 0; i-- {
+		if cands[i].score >= 0.8*bestScore {
+			return cands[i].period, nil
+		}
+	}
+	return coarse, nil
+}
+
+// refinePeriod sharpens a coarse period estimate by maximizing the contrast
+// of the power envelope folded at candidate periods.
+func (d *Decoder) refinePeriod(power []float64, p0 float64) float64 {
+	best, bestScore := p0, math.Inf(-1)
+	span := p0 * 0.02
+	step := span / 40
+	if step <= 0 {
+		return p0
+	}
+	for p := p0 - span; p <= p0+span; p += step {
+		if s := foldContrast(power, p); s > bestScore {
+			bestScore, best = s, p
+		}
+	}
+	// Second, finer pass around the winner.
+	p1 := best
+	for p := p1 - step; p <= p1+step; p += step / 10 {
+		if s := foldContrast(power, p); s > bestScore {
+			bestScore, best = s, p
+		}
+	}
+	return best
+}
+
+// foldContrast folds the power envelope at the candidate period and returns
+// the contrast between the loudest and quietest deciles of the fold. The
+// true period aligns every inter-chirp gap onto the same bins, maximizing
+// the contrast.
+func foldContrast(power []float64, period float64) float64 {
+	bins := int(period)
+	if bins < 4 || len(power) < 2*bins {
+		return math.Inf(-1)
+	}
+	folded := make([]float64, bins)
+	counts := make([]int, bins)
+	for i, v := range power {
+		b := int(math.Mod(float64(i), period))
+		if b >= bins {
+			b = bins - 1
+		}
+		folded[b] += v
+		counts[b]++
+	}
+	for b := range folded {
+		if counts[b] > 0 {
+			folded[b] /= float64(counts[b])
+		}
+	}
+	sorted := append([]float64(nil), folded...)
+	sort.Float64s(sorted)
+	// The duty-cycle limit guarantees a quiet gap of at least 20% of the
+	// period, so compare the quietest fifth of the fold against the loudest.
+	dec := bins / 5
+	if dec < 1 {
+		dec = 1
+	}
+	var lo, hi float64
+	for i := 0; i < dec; i++ {
+		lo += sorted[i]
+		hi += sorted[bins-1-i]
+	}
+	if hi <= 0 {
+		return math.Inf(-1)
+	}
+	return hi / (lo + 1e-3*hi)
+}
+
+// AlignChirpStart locates the phase (sample offset in [0, period)) at which
+// chirps begin. The power envelope folded at the period has its sharpest
+// circular rising edge exactly at the chirp start: every chirp is active for
+// at least the 20 µs minimum duration right after it, and the ≤80% duty
+// cycle guarantees every chirp is silent right before it. Edge detection is
+// threshold-free, unlike quiet-run search, and therefore robust to payloads
+// whose mixed durations leave intermediate-power fold bins.
+func (d *Decoder) AlignChirpStart(x []float64, period float64) int {
+	bins := int(period)
+	if bins < 8 || len(x) < bins {
+		return 0
+	}
+	folded := make([]float64, bins)
+	counts := make([]int, bins)
+	for i, v := range x {
+		b := int(math.Mod(float64(i), period))
+		if b >= bins {
+			b = bins - 1
+		}
+		folded[b] += v * v
+		counts[b]++
+	}
+	for b := range folded {
+		if counts[b] > 0 {
+			folded[b] /= float64(counts[b])
+		}
+	}
+	g := bins / 8 // comparison window; ≤ the guaranteed active/quiet spans
+	if g < 2 {
+		g = 2
+	}
+	bestScore, bestBin := math.Inf(-1), 0
+	for b := 0; b < bins; b++ {
+		var after, before float64
+		for k := 0; k < g; k++ {
+			after += folded[(b+k)%bins]
+			before += folded[(b-1-k+2*bins)%bins]
+		}
+		if score := after - before; score > bestScore {
+			bestScore, bestBin = score, b
+		}
+	}
+	return bestBin
+}
+
+// classifySlot classifies one chirp slot starting at sample w using the
+// per-candidate matched window.
+func (d *Decoder) classifySlot(x []float64, w int, period float64) (cssk.Symbol, bool) {
+	best := math.Inf(-1)
+	var bestSym cssk.Symbol
+	classify := func(s cssk.Symbol) {
+		n := int(s.Duration * d.SampleRate)
+		if w+n > len(x) {
+			n = len(x) - w
+		}
+		if n < 4 {
+			return
+		}
+		win := x[w : w+n]
+		p := dsp.RealToneEnergy(win, s.Beat, d.SampleRate) / float64(n)
+		if p > best {
+			best = p
+			bestSym = s
+		}
+	}
+	if d.Method == MethodFFT {
+		// Full-window FFT: take the longest possible chirp window, find the
+		// spectral peak, and classify the peak frequency to the nearest
+		// constellation beat.
+		n := int(0.999 * period)
+		if w+n > len(x) {
+			n = len(x) - w
+		}
+		if n < 8 {
+			return cssk.Symbol{}, false
+		}
+		win := append([]float64(nil), x[w:w+n]...)
+		dsp.ApplyWindow(win, dsp.Window(dsp.WindowHann, n))
+		spec := dsp.Magnitudes(dsp.FFTReal(win))
+		m := len(spec)
+		lo := 1
+		hi := m / 2
+		if hi <= lo {
+			return cssk.Symbol{}, false
+		}
+		idx, _ := dsp.MaxIndexRange(spec, lo, hi)
+		delta, _ := dsp.ParabolicPeak(spec, idx)
+		freq := (float64(idx) + delta) * d.SampleRate / float64(m)
+		return d.Alphabet.ClassifyBeat(freq), true
+	}
+	classify(d.Alphabet.Header())
+	classify(d.Alphabet.Sync())
+	for i := 0; i < d.Alphabet.DataSymbolCount(); i++ {
+		s, err := d.Alphabet.DataSymbol(i)
+		if err != nil {
+			continue
+		}
+		classify(s)
+	}
+	if math.IsInf(best, -1) {
+		return cssk.Symbol{}, false
+	}
+	// Fine pass: the coarse matched filter resolves to within about one
+	// constellation point, but the ML frequency estimate of a tone in noise
+	// is far finer than the Fourier resolution of a single chirp. Scan the
+	// periodogram around the coarse beat and classify the refined peak.
+	n := int(bestSym.Duration * d.SampleRate)
+	if w+n > len(x) {
+		n = len(x) - w
+	}
+	if n >= 8 {
+		win := x[w : w+n]
+		spacing := d.Alphabet.MinSpacing()
+		fBest, pBest := bestSym.Beat, -1.0
+		for f := bestSym.Beat - 1.5*spacing; f <= bestSym.Beat+1.5*spacing; f += spacing / 10 {
+			if f <= 0 || f >= d.SampleRate/2 {
+				continue
+			}
+			if p := dsp.RealToneEnergy(win, f, d.SampleRate); p > pBest {
+				pBest, fBest = p, f
+			}
+		}
+		return d.Alphabet.ClassifyBeat(fBest), true
+	}
+	return bestSym, true
+}
+
+// DecodeSymbols classifies every complete chirp slot in the capture, given
+// the period (samples) and start offset. Each slot is micro-aligned to the
+// chirp's rising power edge, which absorbs residual period error over long
+// frames.
+func (d *Decoder) DecodeSymbols(x []float64, period float64, start int) []cssk.Symbol {
+	var out []cssk.Symbol
+	for k := 0; ; k++ {
+		w := start + int(math.Round(float64(k)*period))
+		if w+int(0.5*period) > len(x) {
+			break
+		}
+		w += d.edgeOffset(x, w)
+		if w < 0 {
+			w = 0
+		}
+		if s, ok := d.classifySlot(x, w, period); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// edgeOffset searches a small neighborhood of the nominal slot start for the
+// chirp's rising power edge and returns the correction in samples.
+func (d *Decoder) edgeOffset(x []float64, w int) int {
+	const reach = 6
+	const g = 8
+	bestScore := math.Inf(-1)
+	bestOff := 0
+	for off := -reach; off <= reach; off++ {
+		p := w + off
+		if p-g < 0 || p+g > len(x) {
+			continue
+		}
+		var after, before float64
+		for i := p; i < p+g; i++ {
+			after += x[i] * x[i]
+		}
+		for i := p - g; i < p; i++ {
+			before += x[i] * x[i]
+		}
+		if score := after - before; score > bestScore {
+			bestScore = score
+			bestOff = off
+		}
+	}
+	return bestOff
+}
+
+// DecodeFrame runs the full pipeline on a capture: period estimation,
+// alignment, per-slot classification.
+func (d *Decoder) DecodeFrame(x []float64) ([]cssk.Symbol, Diagnostics, error) {
+	period, err := d.EstimatePeriod(x)
+	if err != nil {
+		return nil, Diagnostics{}, err
+	}
+	start := d.AlignChirpStart(x, period)
+	syms := d.DecodeSymbols(x, period, start)
+	return syms, Diagnostics{PeriodSamples: period, ChirpStart: start, Symbols: len(syms)}, nil
+}
+
+// DecodePacket decodes a capture all the way to a downlink payload using the
+// shared packet framing.
+func (d *Decoder) DecodePacket(x []float64, cfg packet.Config) ([]byte, Diagnostics, error) {
+	syms, diag, err := d.DecodeFrame(x)
+	if err != nil {
+		return nil, diag, err
+	}
+	payload, err := cfg.Decode(syms)
+	return payload, diag, err
+}

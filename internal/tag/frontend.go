@@ -1,0 +1,111 @@
+// Package tag implements the BiScatter backscatter node (§3.2): the
+// differential delay-line decoder front-end that turns received FMCW chirps
+// into kHz-rate envelope samples, the low-power decoding algorithm (chirp
+// period estimation, window alignment, Goertzel/FFT symbol decisions, sync
+// search), the Van Atta uplink modulator, and the tag power model (§4.1).
+package tag
+
+import (
+	"fmt"
+	"math"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/delayline"
+	"biscatter/internal/fmcw"
+)
+
+// FrontEnd models the analog chain of Fig. 4: antenna → splitter → two delay
+// lines → combiner → envelope detector → kHz ADC. Given a frame of chirps and
+// a link SNR it synthesizes the ADC sample stream the MCU would see.
+//
+// The synthesis uses the closed form of §3.2.1 (Eq. 9): during a chirp of
+// slope α the detector output is a tone at Δf = α·ΔT (ΔT evaluated on the
+// physical delay-line pair, including dispersion); between chirps the radar
+// is silent and only noise remains. This is exact for an ideal square-law
+// detector and is validated against full waveform synthesis in the tests.
+type FrontEnd struct {
+	// Pair is the physical delay-line pair.
+	Pair delayline.Pair
+	// SampleRate is the ADC rate in Hz. It must exceed twice the largest
+	// constellation beat; 1 MHz matches the paper's MCU clock.
+	SampleRate float64
+	// CenterFrequency is the chirp center frequency at which ΔT is
+	// evaluated.
+	CenterFrequency float64
+	// Amplitude is the detector output amplitude for a unit-SNR reference;
+	// the absolute value is arbitrary since decisions are ratio-based.
+	Amplitude float64
+	// SlopeJitter is the fractional per-chirp beat-frequency jitter from
+	// the radar's chirp-generator clock (§5.3 attributes the 24 GHz
+	// platform's slight edge to its higher-quality clock). Zero disables.
+	SlopeJitter float64
+
+	noise *channel.Noise
+}
+
+// NewFrontEnd builds a front-end with the given delay-line pair and noise
+// seed.
+func NewFrontEnd(pair delayline.Pair, sampleRate, centerFrequency float64, seed int64) (*FrontEnd, error) {
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("tag: sample rate %v Hz must be positive", sampleRate)
+	}
+	if centerFrequency <= 0 {
+		return nil, fmt.Errorf("tag: center frequency %v Hz must be positive", centerFrequency)
+	}
+	return &FrontEnd{
+		Pair:            pair,
+		SampleRate:      sampleRate,
+		CenterFrequency: centerFrequency,
+		Amplitude:       1,
+		noise:           channel.NewNoise(seed),
+	}, nil
+}
+
+// Capture synthesizes the ADC stream for a frame received at the given
+// downlink SNR (dB). startOffset shifts the capture start into the frame
+// (seconds), emulating a tag that wakes mid-packet; extraTail appends that
+// many seconds of noise-only samples after the frame.
+func (fe *FrontEnd) Capture(frame *fmcw.Frame, snrDB, startOffset, extraTail float64) []float64 {
+	if startOffset < 0 {
+		startOffset = 0
+	}
+	total := frame.Duration() - startOffset + extraTail
+	if total < 0 {
+		total = 0
+	}
+	n := int(total * fe.SampleRate)
+	out := make([]float64, n)
+	sigma := channel.SigmaForSNR(fe.Amplitude, snrDB)
+
+	for _, c := range frame.Chirps {
+		beat := fe.Pair.ExpectedBeat(c.Params.Slope(), fe.CenterFrequency)
+		if fe.SlopeJitter > 0 {
+			beat *= 1 + fe.SlopeJitter*fe.noise.Rand().NormFloat64()
+		}
+		chirpStart := float64(c.Index)*frame.Period - startOffset
+		chirpEnd := chirpStart + c.Params.Duration
+		if chirpEnd <= 0 {
+			continue
+		}
+		phase := fe.noise.Rand().Float64() * 2 * math.Pi
+		i0 := int(math.Ceil(math.Max(chirpStart, 0) * fe.SampleRate))
+		i1 := int(chirpEnd * fe.SampleRate)
+		if i1 > n {
+			i1 = n
+		}
+		for i := i0; i < i1; i++ {
+			t := float64(i)/fe.SampleRate - chirpStart
+			out[i] = fe.Amplitude * math.Cos(2*math.Pi*beat*t+phase)
+		}
+	}
+	fe.noise.AddReal(out, sigma)
+	return out
+}
+
+// CaptureFrame is Capture with no offset or tail.
+func (fe *FrontEnd) CaptureFrame(frame *fmcw.Frame, snrDB float64) []float64 {
+	return fe.Capture(frame, snrDB, 0, 0)
+}

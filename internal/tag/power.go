@@ -1,0 +1,70 @@
+package tag
+
+import "fmt"
+
+// PowerModel reproduces the §4.1 tag power budget. All figures in watts.
+type PowerModel struct {
+	// RFSwitch is the ADRF5144 SPDT switch draw (2.86 µW).
+	RFSwitch float64
+	// EnvelopeDetector is the ADL6010 draw (8 mW).
+	EnvelopeDetector float64
+	// MCUActive is the MCU at a 1 MHz clock doing ADC + Goertzel (40 mW).
+	MCUActive float64
+	// MCUSleep is the MCU ultra-low-power sleep draw.
+	MCUSleep float64
+	// PWMDriver is the autonomous PWM path that can toggle the switch with
+	// the MCU asleep (<3 µW).
+	PWMDriver float64
+}
+
+// DefaultPowerModel returns the prototype component figures from §4.1.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		RFSwitch:         2.86e-6,
+		EnvelopeDetector: 8e-3,
+		MCUActive:        40e-3,
+		MCUSleep:         2e-6,
+		PWMDriver:        3e-6,
+	}
+}
+
+// Continuous returns the total draw in the continuous communication-and-
+// sensing mode: every component active all the time (§4.1 reports ≈48 mW).
+func (p PowerModel) Continuous() float64 {
+	return p.RFSwitch + p.EnvelopeDetector + p.MCUActive
+}
+
+// Sequential returns the average draw when alternating between downlink
+// (decode: detector + MCU active) and uplink (modulate: PWM + switch, MCU
+// asleep) with the given downlink duty fraction in [0, 1].
+func (p PowerModel) Sequential(downlinkFraction float64) (float64, error) {
+	if downlinkFraction < 0 || downlinkFraction > 1 {
+		return 0, fmt.Errorf("tag: downlink fraction %v must be in [0, 1]", downlinkFraction)
+	}
+	down := p.RFSwitch + p.EnvelopeDetector + p.MCUActive
+	up := p.RFSwitch + p.PWMDriver + p.MCUSleep
+	return downlinkFraction*down + (1-downlinkFraction)*up, nil
+}
+
+// CustomIC projects the §4.1 custom-IC redesign: MOSFET switch, op-amp
+// envelope detector, Walden-FoM ADC and a Goertzel filter instead of a full
+// FFT — about 4 mW total.
+func (p PowerModel) CustomIC() float64 {
+	const (
+		mosfetSwitch = 1e-6
+		opAmpDet     = 0.8e-3
+		lowPowerADC  = 0.2e-6
+		goertzelCore = 3.2e-3
+	)
+	return mosfetSwitch + opAmpDet + lowPowerADC + goertzelCore
+}
+
+// Breakdown lists each component's contribution in continuous mode, for the
+// power table in the experiment harness.
+func (p PowerModel) Breakdown() map[string]float64 {
+	return map[string]float64{
+		"rf-switch":         p.RFSwitch,
+		"envelope-detector": p.EnvelopeDetector,
+		"mcu-active":        p.MCUActive,
+	}
+}

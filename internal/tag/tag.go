@@ -1,0 +1,93 @@
+package tag
+
+import (
+	"fmt"
+
+	"biscatter/internal/cssk"
+	"biscatter/internal/delayline"
+	"biscatter/internal/fmcw"
+	"biscatter/internal/packet"
+)
+
+// Tag assembles the full BiScatter node of Fig. 2: the delay-line decoder
+// front-end and decoding algorithm for downlink, the Van Atta RF-switch
+// modulator for uplink, and the power model.
+type Tag struct {
+	// FrontEnd is the analog decoder chain.
+	FrontEnd *FrontEnd
+	// Decoder is the digital decoding pipeline.
+	Decoder *Decoder
+	// Modulator drives the uplink RF switch.
+	Modulator *Modulator
+	// Power is the power model.
+	Power PowerModel
+	// ID distinguishes tags in multi-tag deployments; it selects the tag's
+	// uplink modulation frequency and is matched by downlink addressing.
+	ID uint8
+}
+
+// Config assembles a Tag.
+type Config struct {
+	// Pair is the physical delay-line pair; defaults to the PCB meander
+	// pair when zero.
+	Pair delayline.Pair
+	// Alphabet is the agreed CSSK constellation (required).
+	Alphabet *cssk.Alphabet
+	// SampleRate is the ADC rate; defaults to 1 MHz.
+	SampleRate float64
+	// CenterFrequency is the chirp center frequency; required.
+	CenterFrequency float64
+	// Modulator configures the uplink; required for uplink operation.
+	Modulator *Modulator
+	// Seed seeds the tag's noise processes.
+	Seed int64
+	// ID is the tag identifier.
+	ID uint8
+	// Method selects the decoding estimator (Goertzel by default).
+	Method Method
+}
+
+// New builds a Tag.
+func New(cfg Config) (*Tag, error) {
+	if cfg.Alphabet == nil {
+		return nil, fmt.Errorf("tag: alphabet is required")
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 1e6
+	}
+	if cfg.Pair == (delayline.Pair{}) {
+		cfg.Pair = delayline.NewMeanderPair()
+	}
+	fe, err := NewFrontEnd(cfg.Pair, cfg.SampleRate, cfg.CenterFrequency, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := NewDecoder(cfg.Alphabet, cfg.SampleRate)
+	if err != nil {
+		return nil, err
+	}
+	dec.Method = cfg.Method
+	return &Tag{
+		FrontEnd:  fe,
+		Decoder:   dec,
+		Modulator: cfg.Modulator,
+		Power:     DefaultPowerModel(),
+		ID:        cfg.ID,
+	}, nil
+}
+
+// ReceiveDownlink captures a downlink frame at the given SNR and decodes it
+// to a payload.
+func (t *Tag) ReceiveDownlink(frame *fmcw.Frame, snrDB float64, pktCfg packet.Config) ([]byte, Diagnostics, error) {
+	x := t.FrontEnd.CaptureFrame(frame, snrDB)
+	return t.Decoder.DecodePacket(x, pktCfg)
+}
+
+// UplinkStates returns the per-chirp reflect/absorb switch states carrying
+// the given uplink bits across n chirps.
+func (t *Tag) UplinkStates(bits []bool, period float64, n int) ([]bool, error) {
+	if t.Modulator == nil {
+		return nil, fmt.Errorf("tag: no modulator configured")
+	}
+	return t.Modulator.States(bits, period, n), nil
+}
