@@ -295,6 +295,46 @@ func BenchmarkEndToEndExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkExchange measures the parallel exchange engine on a four-node
+// deployment at several worker-pool widths. Results are byte-identical
+// across widths; only wall-clock changes. scripts/bench_exchange.sh records
+// the sub-benchmark timings (and the host's core count, which bounds the
+// attainable speedup) into BENCH_exchange.json.
+func BenchmarkExchange(b *testing.B) {
+	payload := []byte("fleet payload")
+	up := map[int][]bool{
+		0: {true, false, true, true},
+		1: {false, true, false, false},
+		2: {true, true, false, true},
+		3: {false, false, true, true},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			n, err := core.NewNetwork(core.Config{
+				Nodes: []core.NodeConfig{
+					{ID: 1, Range: 1.5},
+					{ID: 2, Range: 2.6},
+					{ID: 3, Range: 3.8},
+					{ID: 4, Range: 5.1},
+				},
+				// 64 chirps/bit keeps four auto-assigned FSK pairs inside
+				// the slow-time band.
+				ChirpsPerBit: 64,
+				Seed:         14,
+			}, core.WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Exchange(payload, up); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTagDecodeFrame(b *testing.B) {
 	n, err := core.NewNetwork(core.Config{
 		Nodes: []core.NodeConfig{{ID: 1, Range: 2.6}},

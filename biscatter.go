@@ -20,13 +20,28 @@
 // decode it at its own link SNR, collects the nodes' backscatter, and
 // returns per-node downlink payloads, localization fixes and uplink bits.
 //
-// All randomness is seeded, so every run is reproducible. See DESIGN.md for
-// the architecture and EXPERIMENTS.md for the paper-reproduction results.
+// NewNetwork also takes functional options alongside (or instead of) the
+// Config struct, and every pipeline entry point has a context-aware
+// variant that honors cancellation between and inside stages:
+//
+//	net, err := biscatter.NewNetwork(biscatter.Config{},
+//	    biscatter.WithNodes(biscatter.NodeConfig{ID: 1, Range: 3.0}),
+//	    biscatter.WithWorkers(8),
+//	)
+//	res, err := net.ExchangeContext(ctx, payload, bits)
+//
+// The exchange engine fans its per-chirp, per-node and per-bin work across
+// a worker pool sized by WithWorkers (GOMAXPROCS by default). All
+// randomness is seeded and every parallel stage writes results by index,
+// so a run is reproducible bit-for-bit at any worker count. See DESIGN.md
+// for the architecture and EXPERIMENTS.md for the paper-reproduction
+// results.
 package biscatter
 
 import (
 	"biscatter/internal/channel"
 	"biscatter/internal/core"
+	"biscatter/internal/cssk"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
@@ -55,17 +70,69 @@ type (
 	MapTarget = radar.MapTarget
 	// Link is the radio link budget.
 	Link = channel.Link
+	// Reflector is one static scatterer of the clutter environment.
+	Reflector = channel.Reflector
 	// Preset is a radar platform configuration.
 	Preset = fmcw.Preset
 	// PowerModel is the tag power budget of §4.1.
 	PowerModel = tag.PowerModel
+	// Diagnostics carries the tag decoder's per-stage pipeline diagnostics
+	// attached to each NodeResult.
+	Diagnostics = tag.Diagnostics
+	// UplinkFSKConfig is a node's slow-time FSK modulation plan as known to
+	// the radar.
+	UplinkFSKConfig = radar.UplinkFSKConfig
+	// Symbol is one CSSK chirp symbol of a downlink frame.
+	Symbol = cssk.Symbol
+	// Option is a functional option for NewNetwork; see WithWorkers,
+	// WithPreset, WithClutter, WithSeed and WithNodes.
+	Option = core.Option
+	// ExchangeOption customizes a single Exchange round; see WithMinChirps.
+	ExchangeOption = core.ExchangeOption
 )
 
-// NewNetwork builds a network from the configuration. At least one node is
-// required; everything else has calibrated defaults.
-func NewNetwork(cfg Config) (*Network, error) {
-	return core.NewNetwork(cfg)
+// Sentinel errors, for errors.Is branching.
+var (
+	// ErrNoNodes is returned by NewNetwork when the configuration places no
+	// backscatter nodes.
+	ErrNoNodes = core.ErrNoNodes
+	// ErrToneBandExceeded is returned by NewNetwork when a node's uplink
+	// tones fall at or above half the chirp rate.
+	ErrToneBandExceeded = core.ErrToneBandExceeded
+	// ErrTagNotFound is carried in a NodeResult when no range bin held the
+	// node's modulation signature above the detection threshold.
+	ErrTagNotFound = radar.ErrTagNotFound
+)
+
+// NewNetwork builds a network from the configuration, then applies the
+// functional options in order. At least one node is required; everything
+// else has calibrated defaults.
+func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
+	return core.NewNetwork(cfg, opts...)
 }
+
+// WithWorkers sizes the worker pool the exchange engine fans per-chirp,
+// per-node and per-bin work across; non-positive (the default) selects
+// GOMAXPROCS. Results are byte-identical for any worker count.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithPreset selects the radar platform preset.
+func WithPreset(p Preset) Option { return core.WithPreset(p) }
+
+// WithClutter replaces the static environment (an explicit empty slice
+// selects a clutter-free scene).
+func WithClutter(clutter []Reflector) Option { return core.WithClutter(clutter) }
+
+// WithSeed roots every stochastic component of the network.
+func WithSeed(seed int64) Option { return core.WithSeed(seed) }
+
+// WithNodes places the backscatter nodes, replacing any already present in
+// the Config.
+func WithNodes(nodes ...NodeConfig) Option { return core.WithNodes(nodes...) }
+
+// WithMinChirps pads a single exchange's downlink frame to at least n
+// chirps for extra slow-time integration gain.
+func WithMinChirps(n int) ExchangeOption { return core.WithMinChirps(n) }
 
 // Radar9GHz returns the paper's sub-10 GHz platform preset (1 GHz
 // bandwidth).
@@ -86,7 +153,10 @@ func DefaultPowerModel() PowerModel { return tag.DefaultPowerModel() }
 // experiments.
 func RandomPayload(seed int64, n int) []byte { return core.RandomPayload(seed, n) }
 
-// CountBitErrors compares two payloads bit by bit.
+// CountBitErrors compares two payloads bit by bit. The total spans
+// max(len(sent), len(got)) bytes: bytes missing from got count fully as
+// errors, and so do extra trailing bytes in got — a decode that returns
+// more bytes than were sent is not error-free.
 func CountBitErrors(sent, got []byte) (errs, total int) {
 	return core.CountBitErrors(sent, got)
 }

@@ -23,6 +23,7 @@ func main() {
 	frames := flag.Int("frames", 0, "frames per BER point (0 = default 40; the paper uses 10000)")
 	trials := flag.Int("trials", 0, "trials per localization/SNR point (0 = default 8)")
 	seed := flag.Int64("seed", 1, "root random seed")
+	workers := flag.Int("workers", 0, "worker-pool width for sweep fan-out (0 = all cores; results are identical for any width)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
@@ -41,7 +42,7 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
-	opts := eval.Options{Frames: *frames, Trials: *trials, Seed: *seed}
+	opts := eval.Options{Frames: *frames, Trials: *trials, Seed: *seed, Workers: *workers}
 
 	exit := 0
 	for _, id := range ids {

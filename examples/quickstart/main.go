@@ -9,17 +9,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"biscatter"
 )
 
 func main() {
-	net, err := biscatter.NewNetwork(biscatter.Config{
-		Nodes: []biscatter.NodeConfig{{ID: 1, Range: 2.6}},
-		Seed:  42,
-	})
+	// Functional options compose with (or replace) the Config struct; the
+	// exchange engine spreads its pipeline across the worker pool and is
+	// bit-reproducible at any width.
+	net, err := biscatter.NewNetwork(biscatter.Config{},
+		biscatter.WithNodes(biscatter.NodeConfig{ID: 1, Range: 2.6}),
+		biscatter.WithSeed(42),
+		biscatter.WithWorkers(0), // 0 = all cores
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +37,9 @@ func main() {
 	downlink := []byte("set-rate:5")
 	uplink := []bool{true, false, true, true, false, false, true, false}
 
-	res, err := net.Exchange(downlink, map[int][]bool{0: uplink})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := net.ExchangeContext(ctx, downlink, map[int][]bool{0: uplink})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"biscatter/internal/delayline"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/packet"
+	"biscatter/internal/parallel"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
 )
@@ -71,6 +72,10 @@ type Config struct {
 	TagSampleRate float64
 	// DecoderMethod selects the tag's spectral estimator.
 	DecoderMethod tag.Method
+	// Workers sizes the worker pool the exchange engine fans per-chirp,
+	// per-node and per-bin work across; non-positive selects GOMAXPROCS.
+	// Results are byte-identical for any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -124,13 +129,20 @@ type Network struct {
 	radar    *radar.Radar
 	nodes    []*Node
 	pair     delayline.Pair
+	pool     *parallel.Pool
 }
 
-// NewNetwork builds a network from the configuration.
-func NewNetwork(cfg Config) (*Network, error) {
+// NewNetwork builds a network from the configuration, then applies the
+// functional options in order (so an option overrides the Config field it
+// names). At least one node is required; everything else has calibrated
+// defaults.
+func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	cfg = cfg.withDefaults()
 	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("core: at least one node is required")
+		return nil, ErrNoNodes
 	}
 	link := LinkFromPreset(cfg.Preset)
 
@@ -157,9 +169,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	rd, err := radar.New(radar.Config{
-		Chirp: cfg.Preset.Chirp,
-		Link:  link,
-		Seed:  cfg.Seed,
+		Chirp:   cfg.Preset.Chirp,
+		Link:    link,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -173,6 +186,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		builder:  builder,
 		radar:    rd,
 		pair:     pair,
+		pool:     parallel.New(cfg.Workers),
 	}
 	chirpRate := 1 / cfg.Period
 	for i, nc := range cfg.Nodes {
@@ -197,7 +211,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 			f1 = f0 + step
 		}
 		if f1 >= chirpRate/2 {
-			return nil, fmt.Errorf("core: node %d: auto-assigned tones exceed the slow-time band (f1=%.0f Hz ≥ %.0f Hz); use fewer nodes, a larger ChirpsPerBit, or explicit ModulationF0/F1", i, f1, chirpRate/2)
+			return nil, fmt.Errorf("%w: node %d (f1=%.0f Hz ≥ %.0f Hz)", ErrToneBandExceeded, i, f1, chirpRate/2)
 		}
 		mod, err := tag.NewModulator(tag.SchemeFSK, f0, f1, cfg.Period, cfg.ChirpsPerBit)
 		if err != nil {

@@ -290,6 +290,14 @@ func TestCountBitErrors(t *testing.T) {
 	if errs != 8 || total != 16 {
 		t.Fatalf("missing byte: errs=%d total=%d", errs, total)
 	}
+	errs, total = CountBitErrors([]byte{0xAA}, []byte{0xAA, 0xFF})
+	if errs != 8 || total != 16 {
+		t.Fatalf("extra trailing byte: errs=%d total=%d", errs, total)
+	}
+	errs, total = CountBitErrors(nil, []byte{0x01})
+	if errs != 8 || total != 8 {
+		t.Fatalf("all-spurious decode: errs=%d total=%d", errs, total)
+	}
 	errs, _ = CountBitErrors(nil, nil)
 	if errs != 0 {
 		t.Fatal("empty comparison should have no errors")

@@ -1,0 +1,18 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the network facade. Failures that used to surface as
+// ad-hoc fmt.Errorf strings now wrap one of these, so callers can branch
+// with errors.Is instead of string matching.
+var (
+	// ErrNoNodes means the configuration places no backscatter nodes; a
+	// network needs at least one.
+	ErrNoNodes = errors.New("core: at least one node is required")
+
+	// ErrToneBandExceeded means a node's uplink modulation tones fall at or
+	// above the slow-time Nyquist band (half the chirp rate), so the radar
+	// could not separate them. Use fewer nodes, a larger ChirpsPerBit, or
+	// explicit ModulationF0/F1 assignments.
+	ErrToneBandExceeded = errors.New("core: uplink tones exceed the slow-time band")
+)

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"biscatter/internal/cssk"
 	"biscatter/internal/dsp"
@@ -62,6 +62,25 @@ func (n *Network) BuildSensingFrame(chirps int) (*fmcw.Frame, error) {
 	return n.builder.BuildUniform(chirps, n.cfg.Preset.Chirp.Duration)
 }
 
+// buildScene assembles the radar scene for a frame: the configured clutter
+// plus every node's per-chirp switch states. uplinkBits maps node index →
+// bits; nodes without an entry modulate their localization beacon.
+func (n *Network) buildScene(frame *fmcw.Frame, uplinkBits map[int][]bool) (radar.Scene, error) {
+	scene := radar.Scene{Clutter: n.cfg.Clutter}
+	for i, node := range n.nodes {
+		states, serr := node.Tag.UplinkStates(uplinkBits[i], n.cfg.Period, len(frame.Chirps))
+		if serr != nil {
+			return radar.Scene{}, fmt.Errorf("core: node %d uplink states: %w", i, serr)
+		}
+		scene.Tags = append(scene.Tags, radar.TagEcho{
+			Range:    node.Range,
+			States:   states,
+			PowerDBm: n.link.UplinkRxPowerDBm(node.Range),
+		})
+	}
+	return scene, nil
+}
+
 // Exchange runs one integrated round: the radar transmits the downlink
 // packet as a CSSK frame; every node receives it through its own link SNR
 // and decodes it; every node simultaneously modulates its uplink bits onto
@@ -70,13 +89,33 @@ func (n *Network) BuildSensingFrame(chirps int) (*fmcw.Frame, error) {
 //
 // uplinkBits maps node index → bits; nodes without an entry modulate a
 // constant-zero pattern (pure localization beacon).
-func (n *Network) Exchange(payload []byte, uplinkBits map[int][]bool) (*ExchangeResult, error) {
-	// Size the frame for both the packet and the longest uplink message.
-	minChirps := 0
+func (n *Network) Exchange(payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ExchangeResult, error) {
+	return n.ExchangeContext(context.Background(), payload, uplinkBits, opts...)
+}
+
+// ExchangeContext is Exchange with cooperative cancellation: ctx is
+// checked between every pipeline stage and inside each stage's parallel
+// fan-out, so a cancelled exchange returns ctx.Err() promptly instead of
+// finishing the round. The parallel stages — per-node downlink decoding,
+// per-chirp scene synthesis and IF correction, per-bin signature scans and
+// per-node uplink demodulation — all write results by index, and every
+// node owns its seeded RNG, so the result is byte-identical for any worker
+// count (see Config.Workers / WithWorkers).
+func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ExchangeResult, error) {
+	var eo exchangeOptions
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	// Size the frame for the packet, the longest uplink message, and any
+	// explicitly requested padding.
+	minChirps := eo.minChirps
 	for _, bits := range uplinkBits {
 		if c := len(bits) * n.cfg.ChirpsPerBit; c > minChirps {
 			minChirps = c
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	frame, err := n.BuildDownlinkFrame(payload, minChirps)
 	if err != nil {
@@ -84,39 +123,48 @@ func (n *Network) Exchange(payload []byte, uplinkBits map[int][]bool) (*Exchange
 	}
 	res := &ExchangeResult{Frame: frame, Nodes: make([]NodeResult, len(n.nodes))}
 
-	// Downlink: each node captures the frame at its own SNR.
-	for i, node := range n.nodes {
+	// Downlink: each node captures the frame at its own SNR. The decodes
+	// are independent (each tag owns its front-end noise source), so they
+	// fan out across the pool.
+	if err := n.pool.ForContext(ctx, len(n.nodes), func(i int) error {
+		node := n.nodes[i]
 		snr := n.link.DownlinkSNRdB(node.Range)
 		pl, diag, derr := node.Tag.ReceiveDownlink(frame, snr, n.pkt)
 		res.Nodes[i].DownlinkPayload = pl
 		res.Nodes[i].DownlinkErr = derr
 		res.Nodes[i].DownlinkDiag = diag
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Uplink: build the radar scene with every node's switch states.
-	scene := radar.Scene{Clutter: n.cfg.Clutter}
-	for i, node := range n.nodes {
-		bits := uplinkBits[i]
-		states, serr := node.Tag.UplinkStates(bits, n.cfg.Period, len(frame.Chirps))
-		if serr != nil {
-			return nil, fmt.Errorf("core: node %d uplink states: %w", i, serr)
-		}
-		scene.Tags = append(scene.Tags, radar.TagEcho{
-			Range:    node.Range,
-			States:   states,
-			PowerDBm: n.link.UplinkRxPowerDBm(node.Range),
-		})
+	scene, err := n.buildScene(frame, uplinkBits)
+	if err != nil {
+		return nil, err
 	}
-	capt := n.radar.Observe(frame, scene)
-	cm, grid := n.radar.CorrectedMatrix(capt)
+	capt, err := n.radar.ObserveContext(ctx, frame, scene)
+	if err != nil {
+		return nil, err
+	}
+	cm, grid, err := n.radar.CorrectedMatrixContext(ctx, capt)
+	if err != nil {
+		return nil, err
+	}
 	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
 
-	dets, derrs := n.detectNodes(matrix, grid)
-	for i, node := range n.nodes {
+	dets, derrs, err := n.detectNodes(ctx, matrix, grid)
+	if err != nil {
+		return nil, err
+	}
+	// Demodulate every detected node's uplink; the matrix is read-only
+	// here and each node writes its own result slot.
+	if err := n.pool.ForContext(ctx, len(n.nodes), func(i int) error {
+		node := n.nodes[i]
 		res.Nodes[i].Detection = dets[i]
 		res.Nodes[i].DetectionErr = derrs[i]
 		if derrs[i] != nil {
-			continue
+			return nil
 		}
 		if bits, ok := uplinkBits[i]; ok && len(bits) > 0 {
 			got, uerr := n.radar.DecodeUplinkFSK(matrix, dets[i].Bin, node.Uplink)
@@ -126,6 +174,9 @@ func (n *Network) Exchange(payload []byte, uplinkBits map[int][]bool) (*Exchange
 			res.Nodes[i].UplinkBits = got
 			res.Nodes[i].UplinkErr = uerr
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -138,17 +189,33 @@ func (n *Network) Exchange(payload []byte, uplinkBits map[int][]bool) (*Exchange
 // combined F0+F1 signature is strongest there — at a node's true bin its own
 // fundamentals always dominate another node's spectral splatter — and then
 // each node peaks only over the bins it owns.
-func (n *Network) detectNodes(matrix [][]float64, grid []float64) ([]radar.Detection, []error) {
+//
+// Every node's F0 and F1 signature profiles are computed concurrently
+// (each scan is itself bin-parallel inside the radar); a cancelled ctx
+// aborts the scan and returns ctx.Err().
+func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []float64) ([]radar.Detection, []error, error) {
 	nn := len(n.nodes)
 	dets := make([]radar.Detection, nn)
 	errs := make([]error, nn)
 	if nn == 0 {
-		return dets, errs
+		return dets, errs, nil
+	}
+	// tones[2j] and tones[2j+1] are node j's F0 and F1 profiles.
+	tones := make([][]float64, 2*nn)
+	if err := n.pool.ForContext(ctx, 2*nn, func(k int) error {
+		node := n.nodes[k/2]
+		f := node.Uplink.F0
+		if k%2 == 1 {
+			f = node.Uplink.F1
+		}
+		tones[k] = n.radar.SignatureProfile(matrix, f, n.cfg.Period)
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 	profs := make([][]float64, nn)
-	for j, node := range n.nodes {
-		p0 := n.radar.SignatureProfile(matrix, node.Uplink.F0, n.cfg.Period)
-		p1 := n.radar.SignatureProfile(matrix, node.Uplink.F1, n.cfg.Period)
+	for j := range profs {
+		p0, p1 := tones[2*j], tones[2*j+1]
 		s := make([]float64, len(p0))
 		for b := range s {
 			s[b] = p0[b] + p1[b]
@@ -169,7 +236,7 @@ func (n *Network) detectNodes(matrix [][]float64, grid []float64) ([]radar.Detec
 	binWidth := grid[1] - grid[0]
 	for j := range n.nodes {
 		prof := profs[j]
-		med := medianOf(prof)
+		med := dsp.Median(prof)
 		bestBin, bestVal := -1, 0.0
 		for b := 0; b < nBins; b++ {
 			if owner[b] == j && prof[b] > bestVal {
@@ -196,23 +263,19 @@ func (n *Network) detectNodes(matrix [][]float64, grid []float64) ([]radar.Detec
 			SNRdB: 10 * math.Log10(bestVal/med),
 		}
 	}
-	return dets, errs
-}
-
-// medianOf returns the median of x without modifying it.
-func medianOf(x []float64) float64 {
-	cp := append([]float64(nil), x...)
-	sort.Float64s(cp)
-	if len(cp) == 0 {
-		return 0
-	}
-	return cp[len(cp)/2]
+	return dets, errs, nil
 }
 
 // Localize runs a sensing round (with the given frame, or a fixed-slope
 // sensing frame when frame is nil) and returns per-node detections. Nodes
 // modulate their localization beacons (constant zero bits → F0 tone).
 func (n *Network) Localize(frame *fmcw.Frame, chirps int) ([]radar.Detection, error) {
+	return n.LocalizeContext(context.Background(), frame, chirps)
+}
+
+// LocalizeContext is Localize with cooperative cancellation between and
+// inside the pipeline stages.
+func (n *Network) LocalizeContext(ctx context.Context, frame *fmcw.Frame, chirps int) ([]radar.Detection, error) {
 	var err error
 	if frame == nil {
 		frame, err = n.BuildSensingFrame(chirps)
@@ -220,23 +283,24 @@ func (n *Network) Localize(frame *fmcw.Frame, chirps int) ([]radar.Detection, er
 			return nil, err
 		}
 	}
-	scene := radar.Scene{Clutter: n.cfg.Clutter}
-	for _, node := range n.nodes {
-		states, serr := node.Tag.UplinkStates(nil, n.cfg.Period, len(frame.Chirps))
-		if serr != nil {
-			return nil, serr
-		}
-		scene.Tags = append(scene.Tags, radar.TagEcho{
-			Range:    node.Range,
-			States:   states,
-			PowerDBm: n.link.UplinkRxPowerDBm(node.Range),
-		})
+	scene, err := n.buildScene(frame, nil)
+	if err != nil {
+		return nil, err
 	}
-	capt := n.radar.Observe(frame, scene)
-	cm, grid := n.radar.CorrectedMatrix(capt)
+	capt, err := n.radar.ObserveContext(ctx, frame, scene)
+	if err != nil {
+		return nil, err
+	}
+	cm, grid, err := n.radar.CorrectedMatrixContext(ctx, capt)
+	if err != nil {
+		return nil, err
+	}
 	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
-	dets, errs := n.detectNodes(matrix, grid)
-	for i, derr := range errs {
+	dets, derrs, err := n.detectNodes(ctx, matrix, grid)
+	if err != nil {
+		return nil, err
+	}
+	for i, derr := range derrs {
 		if derr != nil {
 			return nil, fmt.Errorf("core: node %d: %w", i, derr)
 		}
@@ -248,24 +312,28 @@ func (n *Network) Localize(frame *fmcw.Frame, chirps int) ([]radar.Detection, er
 // map (CFAR detections over the averaged corrected range profile) — the
 // primary sensing output that keeps running during communication.
 func (n *Network) MapEnvironment(chirps int) ([]radar.MapTarget, error) {
+	return n.MapEnvironmentContext(context.Background(), chirps)
+}
+
+// MapEnvironmentContext is MapEnvironment with cooperative cancellation
+// between and inside the pipeline stages.
+func (n *Network) MapEnvironmentContext(ctx context.Context, chirps int) ([]radar.MapTarget, error) {
 	frame, err := n.BuildSensingFrame(chirps)
 	if err != nil {
 		return nil, err
 	}
-	scene := radar.Scene{Clutter: n.cfg.Clutter}
-	for _, node := range n.nodes {
-		states, serr := node.Tag.UplinkStates(nil, n.cfg.Period, len(frame.Chirps))
-		if serr != nil {
-			return nil, serr
-		}
-		scene.Tags = append(scene.Tags, radar.TagEcho{
-			Range:    node.Range,
-			States:   states,
-			PowerDBm: n.link.UplinkRxPowerDBm(node.Range),
-		})
+	scene, err := n.buildScene(frame, nil)
+	if err != nil {
+		return nil, err
 	}
-	capt := n.radar.Observe(frame, scene)
-	cm, grid := n.radar.CorrectedMatrix(capt)
+	capt, err := n.radar.ObserveContext(ctx, frame, scene)
+	if err != nil {
+		return nil, err
+	}
+	cm, grid, err := n.radar.CorrectedMatrixContext(ctx, capt)
+	if err != nil {
+		return nil, err
+	}
 	return n.radar.EnvironmentMap(radar.MagnitudeMatrix(cm), grid)
 }
 
@@ -285,16 +353,26 @@ func RandomPayload(seed int64, n int) []byte {
 }
 
 // CountBitErrors compares two payloads bit by bit, returning the number of
-// differing bits over the total. Length mismatches count the missing bytes
-// as fully erroneous.
+// differing bits over the total. The length policy is asymmetric in what
+// the two arguments mean but symmetric in cost: total spans
+// max(len(sent), len(got)) bytes, bytes missing from got count all eight
+// bits as errors (data the receiver lost), and extra trailing bytes in got
+// also count all eight bits as errors (spurious data the receiver would
+// act on). A decode that returns more bytes than were sent is therefore no
+// longer scored as error-free.
 func CountBitErrors(sent, got []byte) (errs, total int) {
-	total = len(sent) * 8
-	for i := range sent {
-		if i >= len(got) {
+	n := len(sent)
+	if len(got) > n {
+		n = len(got)
+	}
+	total = n * 8
+	for i := 0; i < n; i++ {
+		switch {
+		case i >= len(got) || i >= len(sent):
 			errs += 8
-			continue
+		default:
+			errs += popcount8(sent[i] ^ got[i])
 		}
-		errs += popcount8(sent[i] ^ got[i])
 	}
 	return errs, total
 }

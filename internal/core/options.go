@@ -1,0 +1,63 @@
+package core
+
+import (
+	"biscatter/internal/channel"
+	"biscatter/internal/fmcw"
+)
+
+// Option is a functional option for NewNetwork. Options run after the
+// Config struct is copied and before defaults are applied, so they compose
+// with the struct path: a zero Config plus options is equivalent to filling
+// the corresponding fields, and an option overrides the field it names.
+type Option func(*Config)
+
+// WithWorkers sizes the worker pool that the exchange engine fans its
+// per-chirp, per-node and per-bin work across. Non-positive (the default)
+// selects GOMAXPROCS. Results are byte-identical for any worker count.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithPreset selects the radar platform preset.
+func WithPreset(p fmcw.Preset) Option {
+	return func(c *Config) { c.Preset = p }
+}
+
+// WithClutter replaces the static environment. An explicit empty (but
+// non-nil) slice selects a clutter-free scene; nil keeps the office
+// default.
+func WithClutter(clutter []channel.Reflector) Option {
+	return func(c *Config) { c.Clutter = clutter }
+}
+
+// WithSeed roots every stochastic component of the network.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithNodes places the backscatter nodes, replacing any nodes already in
+// the Config.
+func WithNodes(nodes ...NodeConfig) Option {
+	return func(c *Config) { c.Nodes = nodes }
+}
+
+// exchangeOptions collects the per-round knobs of one Exchange call.
+type exchangeOptions struct {
+	minChirps int
+}
+
+// ExchangeOption customizes a single Exchange/ExchangeContext round
+// without touching the network configuration.
+type ExchangeOption func(*exchangeOptions)
+
+// WithMinChirps pads the downlink frame with header-slope chirps until it
+// spans at least n chirps, on top of what the payload and the uplink bit
+// windows already require. Longer frames buy slow-time integration gain
+// for localization at the cost of airtime.
+func WithMinChirps(n int) ExchangeOption {
+	return func(o *exchangeOptions) {
+		if n > o.minChirps {
+			o.minChirps = n
+		}
+	}
+}

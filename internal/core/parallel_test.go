@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/fmcw"
+)
+
+// threeNodeConfig is a multi-node deployment that exercises every parallel
+// stage: per-node downlink decodes, per-chirp synthesis, per-(node,tone)
+// signature scans and per-node uplink demodulation. ChirpsPerBit 64 keeps
+// the auto-assigned FSK tones of all three nodes inside the slow-time band.
+func threeNodeConfig(workers int) Config {
+	return Config{
+		Nodes: []NodeConfig{
+			{ID: 1, Range: 1.5},
+			{ID: 2, Range: 2.6},
+			{ID: 3, Range: 3.8},
+		},
+		ChirpsPerBit: 64,
+		Seed:         7,
+		Workers:      workers,
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestExchangeWorkerCountInvariance is the equivalence contract of the
+// parallel engine: the same seeded configuration must produce a
+// byte-identical ExchangeResult whether the pipeline runs serially or fans
+// out across many workers.
+func TestExchangeWorkerCountInvariance(t *testing.T) {
+	payload := RandomPayload(3, 6)
+	uplink := map[int][]bool{
+		0: {true, false, true, true},
+		1: {false, false, true, false},
+		2: {true, true, false, true},
+	}
+	run := func(workers int) *ExchangeResult {
+		n, err := NewNetwork(threeNodeConfig(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		res, err := n.Exchange(payload, uplink)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(8)
+
+	if !reflect.DeepEqual(serial.Frame, wide.Frame) {
+		t.Fatal("frames differ between worker counts")
+	}
+	if len(serial.Nodes) != len(wide.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(serial.Nodes), len(wide.Nodes))
+	}
+	for i := range serial.Nodes {
+		s, w := serial.Nodes[i], wide.Nodes[i]
+		if !bytes.Equal(s.DownlinkPayload, w.DownlinkPayload) {
+			t.Errorf("node %d: downlink payloads differ: %x vs %x", i, s.DownlinkPayload, w.DownlinkPayload)
+		}
+		if errString(s.DownlinkErr) != errString(w.DownlinkErr) {
+			t.Errorf("node %d: downlink errors differ: %v vs %v", i, s.DownlinkErr, w.DownlinkErr)
+		}
+		if !reflect.DeepEqual(s.DownlinkDiag, w.DownlinkDiag) {
+			t.Errorf("node %d: diagnostics differ", i)
+		}
+		if s.Detection != w.Detection {
+			t.Errorf("node %d: detections differ: %+v vs %+v", i, s.Detection, w.Detection)
+		}
+		if errString(s.DetectionErr) != errString(w.DetectionErr) {
+			t.Errorf("node %d: detection errors differ: %v vs %v", i, s.DetectionErr, w.DetectionErr)
+		}
+		if !reflect.DeepEqual(s.UplinkBits, w.UplinkBits) {
+			t.Errorf("node %d: uplink bits differ: %v vs %v", i, s.UplinkBits, w.UplinkBits)
+		}
+		if errString(s.UplinkErr) != errString(w.UplinkErr) {
+			t.Errorf("node %d: uplink errors differ: %v vs %v", i, s.UplinkErr, w.UplinkErr)
+		}
+	}
+}
+
+func TestExchangeContextPreCancelled(t *testing.T) {
+	n, err := NewNetwork(oneNodeConfig(2.6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := n.ExchangeContext(ctx, []byte("x"), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled exchange must not return a result")
+	}
+}
+
+func TestExchangeContextCancelMidRound(t *testing.T) {
+	n, err := NewNetwork(threeNodeConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// No uplink bits: the frame stays at packet length, so every pipeline
+	// unit (one downlink decode, one chirp, one signature scan) is small and
+	// the per-index ctx checks get frequent chances to fire.
+	_, err = n.ExchangeContext(ctx, RandomPayload(1, 4), nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	// "Promptly" = well before a full round would finish: ctx is checked
+	// between stages and per index inside each fan-out. The bound is loose
+	// enough for -race on a single-core machine.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestLocalizeAndMapContextPreCancelled(t *testing.T) {
+	n, err := NewNetwork(oneNodeConfig(2.6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.LocalizeContext(ctx, nil, 64); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LocalizeContext: want context.Canceled, got %v", err)
+	}
+	if _, err := n.MapEnvironmentContext(ctx, 64); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MapEnvironmentContext: want context.Canceled, got %v", err)
+	}
+}
+
+func TestNewNetworkSentinelErrors(t *testing.T) {
+	if _, err := NewNetwork(Config{}); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("want ErrNoNodes, got %v", err)
+	}
+	// Four nodes at the default ChirpsPerBit push the highest auto-assigned
+	// f1 past chirpRate/2.
+	_, err := NewNetwork(Config{Nodes: []NodeConfig{
+		{ID: 1, Range: 1}, {ID: 2, Range: 2}, {ID: 3, Range: 3}, {ID: 4, Range: 4},
+	}})
+	if !errors.Is(err, ErrToneBandExceeded) {
+		t.Fatalf("want ErrToneBandExceeded, got %v", err)
+	}
+}
+
+func TestFunctionalOptionsOverrideConfig(t *testing.T) {
+	n, err := NewNetwork(Config{Seed: 99},
+		WithNodes(NodeConfig{ID: 5, Range: 4.2}),
+		WithPreset(fmcw.Radar24GHz()),
+		WithClutter([]channel.Reflector{}),
+		WithSeed(3),
+		WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := n.Config()
+	if cfg.Preset.Name != fmcw.Radar24GHz().Name {
+		t.Fatalf("preset option not applied: %q", cfg.Preset.Name)
+	}
+	if len(cfg.Nodes) != 1 || cfg.Nodes[0].ID != 5 {
+		t.Fatalf("nodes option not applied: %+v", cfg.Nodes)
+	}
+	if cfg.Clutter == nil || len(cfg.Clutter) != 0 {
+		t.Fatalf("explicit empty clutter must survive defaulting: %+v", cfg.Clutter)
+	}
+	if cfg.Seed != 3 || cfg.Workers != 2 {
+		t.Fatalf("seed/workers options not applied: seed=%d workers=%d", cfg.Seed, cfg.Workers)
+	}
+}
+
+func TestWithMinChirpsPadsFrame(t *testing.T) {
+	n, err := NewNetwork(oneNodeConfig(2.6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := n.Exchange([]byte("p"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(plain.Frame.Chirps) + 40
+	padded, err := n.Exchange([]byte("p"), nil, WithMinChirps(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(padded.Frame.Chirps) < want {
+		t.Fatalf("frame has %d chirps, want at least %d", len(padded.Frame.Chirps), want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // IsPowerOfTwo reports whether n is a positive power of two.
@@ -68,6 +69,28 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 
 // Size returns the transform size of the plan.
 func (p *FFTPlan) Size() int { return p.n }
+
+// planCache holds one FFTPlan per transform size. CSSK frames mix chirp
+// durations, so the tag decoder and the slow-time processors request many
+// different (but recurring) power-of-two sizes per frame; caching the
+// twiddle tables and bit-reversal permutations removes that recomputation
+// from the per-chirp hot path. Plans are immutable after construction, so
+// a cached plan is safe to share across worker goroutines.
+var planCache sync.Map // int → *FFTPlan
+
+// PlanFor returns the cached plan for transforms of size n (a power of
+// two), building and caching it on first use.
+func PlanFor(n int) (*FFTPlan, error) {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*FFTPlan), nil
+	}
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*FFTPlan), nil
+}
 
 // Forward computes the forward DFT of src into a newly allocated slice.
 // len(src) must equal the plan size.
@@ -145,7 +168,7 @@ func (p *FFTPlan) execute(a []complex128, inverse bool) {
 // when necessary. The returned slice length is NextPowerOfTwo(len(src)).
 func FFT(src []complex128) []complex128 {
 	n := NextPowerOfTwo(len(src))
-	plan, err := NewFFTPlan(n)
+	plan, err := PlanFor(n)
 	if err != nil {
 		panic(err) // unreachable: n is a power of two
 	}
@@ -158,7 +181,7 @@ func FFT(src []complex128) []complex128 {
 // IFFT computes the normalized inverse DFT of src. len(src) must be a power
 // of two.
 func IFFT(src []complex128) []complex128 {
-	plan, err := NewFFTPlan(len(src))
+	plan, err := PlanFor(len(src))
 	if err != nil {
 		panic(err)
 	}
@@ -172,7 +195,7 @@ func FFTReal(src []float64) []complex128 {
 	for i, v := range src {
 		buf[i] = complex(v, 0)
 	}
-	plan, err := NewFFTPlan(len(buf))
+	plan, err := PlanFor(len(buf))
 	if err != nil {
 		panic(err)
 	}

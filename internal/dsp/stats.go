@@ -1,0 +1,16 @@
+package dsp
+
+import "sort"
+
+// Median returns the upper median of x (element n/2 of the sorted order)
+// without modifying x, and 0 for an empty slice. Both the radar's matched-
+// filter detector and the network core's joint multi-node search use it as
+// the noise-floor estimate of a signature profile.
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), x...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}

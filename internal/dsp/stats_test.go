@@ -1,0 +1,48 @@
+package dsp
+
+import "testing"
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1}, 3},          // upper median of an even count
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 2, 1, 3}, 3},
+		{[]float64{-1, -5, -3}, -3},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{9, 1, 5, 3}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 || in[3] != 3 {
+		t.Fatalf("Median mutated its input: %v", in)
+	}
+}
+
+func TestPlanForCachesBySize(t *testing.T) {
+	p1, err := PlanFor(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanFor(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("PlanFor returned distinct plans for the same size")
+	}
+	if _, err := PlanFor(100); err == nil {
+		t.Fatal("PlanFor accepted a non-power-of-two size")
+	}
+}

@@ -25,6 +25,10 @@ type Options struct {
 	Trials int
 	// Seed roots every random process.
 	Seed int64
+	// Workers bounds the sweep-point fan-out; non-positive selects all
+	// cores. Every sweep point carries its own seed, so the rendered
+	// tables are identical for any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -433,18 +437,22 @@ func Fig12(o Options) (*Result, error) {
 		Title:   fmt.Sprintf("Fig. 12 — downlink BER vs symbol size (SNR %.0f dB, %d frames/point)", snr, o.Frames),
 		Columns: []string{"bits/symbol", "B=250 MHz", "B=500 MHz", "B=1 GHz"},
 	}
-	for bits := 1; bits <= 8; bits++ {
-		row := []string{fmt.Sprintf("%d", bits)}
-		for bi, bw := range bands {
-			s := DownlinkSetup{Bandwidth: bw, SymbolBits: bits}
-			c, err := DownlinkBER(s, snr, o.Frames, o.Seed+int64(bits*10+bi))
-			switch {
-			case err != nil:
-				row = append(row, "over capacity")
-			default:
-				row = append(row, FormatBER(c))
-			}
+	// The (symbol size × bandwidth) grid is one flat fan-out: every cell
+	// carries its own seed, so the sweep parallelizes without reordering
+	// the table.
+	const maxBits = 8
+	cells := ParallelMapN(o.Workers, maxBits*len(bands), func(k int) string {
+		bits, bi := k/len(bands)+1, k%len(bands)
+		s := DownlinkSetup{Bandwidth: bands[bi], SymbolBits: bits}
+		c, err := DownlinkBER(s, snr, o.Frames, o.Seed+int64(bits*10+bi))
+		if err != nil {
+			return "over capacity"
 		}
+		return FormatBER(c)
+	})
+	for bits := 1; bits <= maxBits; bits++ {
+		row := []string{fmt.Sprintf("%d", bits)}
+		row = append(row, cells[(bits-1)*len(bands):bits*len(bands)]...)
 		tbl.AddRow(row...)
 	}
 	res := &Result{
@@ -467,18 +475,18 @@ func Fig13(o Options) (*Result, error) {
 		Title:   fmt.Sprintf("Fig. 13 — downlink BER vs distance (B=1 GHz, %d frames/point)", o.Frames),
 		Columns: []string{"distance (m)", "SNR (dB)", "3 bits", "5 bits", "7 bits"},
 	}
-	for di, d := range distances {
-		snr := link.DownlinkSNRdB(d)
-		row := []string{fmt.Sprintf("%.1f", d), fmt.Sprintf("%.1f", snr)}
-		for si, bits := range sizes {
-			s := DownlinkSetup{SymbolBits: bits}
-			c, err := DownlinkBER(s, snr, o.Frames, o.Seed+int64(di*10+si))
-			if err != nil {
-				row = append(row, "over capacity")
-				continue
-			}
-			row = append(row, FormatBER(c))
+	cells := ParallelMapN(o.Workers, len(distances)*len(sizes), func(k int) string {
+		di, si := k/len(sizes), k%len(sizes)
+		s := DownlinkSetup{SymbolBits: sizes[si]}
+		c, err := DownlinkBER(s, link.DownlinkSNRdB(distances[di]), o.Frames, o.Seed+int64(di*10+si))
+		if err != nil {
+			return "over capacity"
 		}
+		return FormatBER(c)
+	})
+	for di, d := range distances {
+		row := []string{fmt.Sprintf("%.1f", d), fmt.Sprintf("%.1f", link.DownlinkSNRdB(d))}
+		row = append(row, cells[di*len(sizes):(di+1)*len(sizes)]...)
 		tbl.AddRow(row...)
 	}
 	res := &Result{
@@ -499,17 +507,18 @@ func Fig14(o Options) (*Result, error) {
 		Title:   fmt.Sprintf("Fig. 14 — downlink BER vs SNR per ΔL (5 bits/symbol, %d frames/point)", o.Frames),
 		Columns: []string{"SNR (dB)", "ΔL=18 in", "ΔL=30 in", "ΔL=45 in"},
 	}
+	cells := ParallelMapN(o.Workers, len(snrs)*len(lengths), func(k int) string {
+		si, li := k/len(lengths), k%len(lengths)
+		s := DownlinkSetup{DeltaL: lengths[li] * delayline.MetersPerInch, SymbolBits: 5}
+		c, err := DownlinkBER(s, snrs[si], o.Frames, o.Seed+int64(si*10+li))
+		if err != nil {
+			return "over capacity"
+		}
+		return FormatBER(c)
+	})
 	for si, snr := range snrs {
 		row := []string{fmt.Sprintf("%.0f", snr)}
-		for li, inches := range lengths {
-			s := DownlinkSetup{DeltaL: inches * delayline.MetersPerInch, SymbolBits: 5}
-			c, err := DownlinkBER(s, snr, o.Frames, o.Seed+int64(si*10+li))
-			if err != nil {
-				row = append(row, "over capacity")
-				continue
-			}
-			row = append(row, FormatBER(c))
-		}
+		row = append(row, cells[si*len(lengths):(si+1)*len(lengths)]...)
 		tbl.AddRow(row...)
 	}
 	res := &Result{
@@ -533,10 +542,13 @@ func Fig15(o Options) (*Result, error) {
 	var lastGood float64
 	for _, d := range distances {
 		measured := math.Inf(-1)
-		vals := ParallelMap(o.Trials, func(t int) float64 {
+		vals := ParallelMapN(o.Workers, o.Trials, func(t int) float64 {
+			// Trials already saturate the pool, so each network runs
+			// single-worker; results are identical either way.
 			n, err := core.NewNetwork(core.Config{
-				Nodes: []core.NodeConfig{{ID: 1, Range: d}},
-				Seed:  o.Seed + int64(t)*131,
+				Nodes:   []core.NodeConfig{{ID: 1, Range: d}},
+				Seed:    o.Seed + int64(t)*131,
+				Workers: 1,
 			})
 			if err != nil {
 				return math.Inf(-1)
@@ -588,10 +600,13 @@ func Fig16(o Options) (*Result, error) {
 	}
 	for di, d := range distances {
 		type pair struct{ s, c float64 }
-		errsPair := ParallelMap(o.Trials, func(t int) pair {
+		errsPair := ParallelMapN(o.Workers, o.Trials, func(t int) pair {
+			// Trials already saturate the pool, so each network runs
+			// single-worker; results are identical either way.
 			n, err := core.NewNetwork(core.Config{
-				Nodes: []core.NodeConfig{{ID: 1, Range: d}},
-				Seed:  o.Seed + int64(di*100+t),
+				Nodes:   []core.NodeConfig{{ID: 1, Range: d}},
+				Seed:    o.Seed + int64(di*100+t),
+				Workers: 1,
 			})
 			if err != nil {
 				return pair{math.NaN(), math.NaN()}
@@ -654,14 +669,27 @@ func Fig17(o Options) (*Result, error) {
 		{Bandwidth: 250e6, SymbolBits: 3, CenterFrequency: 9.125e9, SlopeJitter: 0.004},
 		{Bandwidth: 250e6, SymbolBits: 3, CenterFrequency: 24.125e9, SlopeJitter: 0.001},
 	}
+	type cell struct {
+		text string
+		err  error
+	}
+	cells := ParallelMapN(o.Workers, len(snrs)*len(setups), func(k int) cell {
+		si, bi := k/len(setups), k%len(setups)
+		c, err := DownlinkBER(setups[bi], snrs[si], o.Frames, o.Seed+int64(si*10+bi))
+		if err != nil {
+			return cell{err: err}
+		}
+		return cell{text: FormatBER(c)}
+	})
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+	}
 	for si, snr := range snrs {
 		row := []string{fmt.Sprintf("%.0f", snr)}
-		for bi, s := range setups {
-			c, err := DownlinkBER(s, snr, o.Frames, o.Seed+int64(si*10+bi))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, FormatBER(c))
+		for bi := range setups {
+			row = append(row, cells[si*len(setups)+bi].text)
 		}
 		tbl.AddRow(row...)
 	}

@@ -7,10 +7,10 @@ package eval
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
+
+	"biscatter/internal/parallel"
 )
 
 // Point is one (x, y) sample of a series.
@@ -233,33 +233,16 @@ func (c *BERCounter) Wilson() (lo, hi float64) {
 // results in order. fn must be safe to call concurrently; determinism comes
 // from per-index seeds, not execution order.
 func ParallelMap[T any](n int, fn func(i int) T) []T {
+	return ParallelMapN(0, n, fn)
+}
+
+// ParallelMapN is ParallelMap with an explicit worker count (non-positive
+// selects all cores). It is the harness's view of the shared worker-pool
+// layer: sweep points and trials fan out over it with per-index seeds, so
+// the rendered tables are identical for any worker count.
+func ParallelMapN[T any](workers, n int, fn func(i int) T) []T {
 	out := make([]T, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallel.New(workers).For(n, func(i int) { out[i] = fn(i) })
 	return out
 }
 

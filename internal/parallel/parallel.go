@@ -1,0 +1,140 @@
+// Package parallel is the shared worker-pool layer behind the simulator's
+// hot loops: per-chirp dechirp and range-FFT work in the radar, per-node
+// downlink decoding and signature scans in the network core, and sweep
+// points in the experiment harness.
+//
+// The pool is deliberately minimal. It holds no goroutines between calls —
+// every For spawns its workers, distributes indices through an atomic
+// counter, and joins — so a Pool is just a worker-count policy and is safe
+// to share and embed freely. Determinism is the caller's contract: fn must
+// write results into pre-sized slices by index (never append) and must not
+// share mutable state across indices; under that contract the result is
+// byte-identical for any worker count, because only the execution order
+// varies.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool schedules index-parallel loops over a fixed number of workers.
+// The zero value is not ready; use New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width. Non-positive widths select
+// GOMAXPROCS at call time, so a default pool tracks the machine.
+func New(workers int) *Pool {
+	return &Pool{workers: workers}
+}
+
+// Workers returns the effective worker count.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.workers
+}
+
+// width clamps the worker count to the job count; a width of 1 selects the
+// serial fast path (no goroutines, no atomics).
+func (p *Pool) width(n int) int {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n), spread across the pool's workers,
+// and returns when all calls have finished. With one worker (or one index)
+// it degenerates to a plain loop.
+func (p *Pool) For(n int, fn func(i int)) {
+	w := p.width(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForContext is For with cooperative cancellation and error propagation:
+// workers stop claiming new indices as soon as ctx is done or any fn call
+// returns an error. In-flight calls run to completion (fn is never
+// interrupted mid-index), then ForContext returns the first fn error, or
+// ctx.Err() when the context ended the loop early. A context that is
+// already done returns immediately without calling fn.
+func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := p.width(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		callErr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if callErr == nil {
+						callErr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if callErr != nil {
+		return callErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 1000
+		counts := make([]int32, n)
+		New(workers).For(n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForResultsIndependentOfWorkerCount(t *testing.T) {
+	const n = 257
+	ref := make([]float64, n)
+	New(1).For(n, func(i int) { ref[i] = float64(i) * 1.5 })
+	got := make([]float64, n)
+	New(8).For(n, func(i int) { got[i] = float64(i) * 1.5 })
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("index %d: %v != %v", i, ref[i], got[i])
+		}
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want %d", got, want)
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+}
+
+func TestForZeroAndOneIndex(t *testing.T) {
+	ran := 0
+	New(4).For(0, func(i int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("fn ran %d times for n=0", ran)
+	}
+	New(4).For(1, func(i int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("fn ran %d times for n=1", ran)
+	}
+}
+
+func TestForContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := New(4).ForContext(ctx, 100, func(i int) error {
+		called = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("fn was called under a cancelled context")
+	}
+}
+
+func TestForContextStopsPromptlyOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	err := New(2).ForContext(ctx, 1_000_000, func(i int) error {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		time.Sleep(10 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got > 100 {
+		t.Fatalf("ran %d indices after cancellation; want prompt stop", got)
+	}
+}
+
+func TestForContextPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := New(4).ForContext(context.Background(), 10_000, func(i int) error {
+		calls.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := calls.Load(); got == 10_000 {
+		t.Fatal("error did not short-circuit the loop")
+	}
+}
+
+func TestForContextSerialPath(t *testing.T) {
+	boom := errors.New("boom")
+	var order []int
+	err := New(1).ForContext(context.Background(), 10, func(i int) error {
+		order = append(order, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("serial path ran %d indices, want 4 (stop at first error)", len(order))
+	}
+}

@@ -77,7 +77,10 @@ func slowTimeTonePower(matrix [][]float64, bin int, fMod, chirpRate float64) flo
 // SignatureProfile computes, for every range bin, the power of the
 // modulation tone at fMod across slow time. The tag's square-wave switching
 // concentrates power at its modulation frequency (the sinc signature of
-// §3.3), so this is the matched-filter statistic.
+// §3.3), so this is the matched-filter statistic. The per-bin Goertzel
+// scans are independent and fan out across the radar's worker pool; each
+// bin is written by index, so the profile is identical for any worker
+// count.
 func (r *Radar) SignatureProfile(matrix [][]float64, fMod, period float64) []float64 {
 	if len(matrix) == 0 {
 		return nil
@@ -85,9 +88,9 @@ func (r *Radar) SignatureProfile(matrix [][]float64, fMod, period float64) []flo
 	chirpRate := 1 / period
 	nBins := len(matrix[0])
 	out := make([]float64, nBins)
-	for b := 0; b < nBins; b++ {
+	r.pool.For(nBins, func(b int) {
 		out[b] = slowTimeTonePower(matrix, b, fMod, chirpRate)
-	}
+	})
 	return out
 }
 
@@ -110,7 +113,7 @@ func (r *Radar) DetectTagExcluding(matrix [][]float64, grid []float64, fMod, per
 	if len(prof) < 3 {
 		return Detection{}, fmt.Errorf("radar: signature profile too short (%d bins)", len(prof))
 	}
-	med := median(prof) // from the unmasked profile: a stable noise estimate
+	med := dsp.Median(prof) // from the unmasked profile: a stable noise estimate
 	for _, e := range exclude {
 		lo, hi := e-maskWidth, e+maskWidth
 		if lo < 0 {
@@ -140,24 +143,6 @@ func (r *Radar) DetectTagExcluding(matrix [][]float64, grid []float64, fMod, per
 		Bin:   bin,
 		SNRdB: 10 * math.Log10(peak/med),
 	}, nil
-}
-
-// median returns the median of x without modifying it.
-func median(x []float64) float64 {
-	if len(x) == 0 {
-		return 0
-	}
-	cp := append([]float64(nil), x...)
-	insertionSort(cp)
-	return cp[len(cp)/2]
-}
-
-func insertionSort(x []float64) {
-	for i := 1; i < len(x); i++ {
-		for j := i; j > 0 && x[j] < x[j-1]; j-- {
-			x[j], x[j-1] = x[j-1], x[j]
-		}
-	}
 }
 
 // UplinkFSKConfig describes the tag's slow-time FSK parameters as known to

@@ -25,7 +25,7 @@ func (r *Radar) EstimateVelocity(matrix [][]complex128, bin int, period float64)
 		return 0, fmt.Errorf("radar: range bin %d out of bounds", bin)
 	}
 	nfft := dsp.NextPowerOfTwo(4 * n) // zero-pad for a finer peak
-	plan, err := dsp.NewFFTPlan(nfft)
+	plan, err := dsp.PlanFor(nfft)
 	if err != nil {
 		return 0, err
 	}

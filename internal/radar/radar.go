@@ -7,12 +7,14 @@
 package radar
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"biscatter/internal/channel"
 	"biscatter/internal/dsp"
 	"biscatter/internal/fmcw"
+	"biscatter/internal/parallel"
 )
 
 // AbsorptiveResidualDB is the residual reflection of the tag in absorptive
@@ -42,6 +44,10 @@ type Config struct {
 	MaxRange float64
 	// Seed seeds the receiver noise.
 	Seed int64
+	// Workers sizes the worker pool for per-chirp and per-bin processing;
+	// non-positive selects GOMAXPROCS. Results are byte-identical for any
+	// worker count.
+	Workers int
 }
 
 // Radar is the receive-side processor.
@@ -49,6 +55,7 @@ type Radar struct {
 	cfg   Config
 	noise *channel.Noise
 	plan  *dsp.FFTPlan
+	pool  *parallel.Pool
 }
 
 // New builds a Radar, applying defaults.
@@ -71,11 +78,16 @@ func New(cfg Config) (*Radar, error) {
 	if cfg.RangeBins < 8 {
 		return nil, fmt.Errorf("radar: RangeBins %d too small", cfg.RangeBins)
 	}
-	plan, err := dsp.NewFFTPlan(cfg.NFFT)
+	plan, err := dsp.PlanFor(cfg.NFFT)
 	if err != nil {
 		return nil, err
 	}
-	return &Radar{cfg: cfg, noise: channel.NewNoise(cfg.Seed), plan: plan}, nil
+	return &Radar{
+		cfg:   cfg,
+		noise: channel.NewNoise(cfg.Seed),
+		plan:  plan,
+		pool:  parallel.New(cfg.Workers),
+	}, nil
 }
 
 // Config returns the radar's configuration with defaults applied.
@@ -137,6 +149,17 @@ type Capture struct {
 // scene. Echo amplitudes are absolute (√mW units) and receiver thermal noise
 // is added at the link's noise floor over the IF bandwidth.
 func (r *Radar) Observe(frame *fmcw.Frame, scene Scene) *Capture {
+	cap, _ := r.ObserveContext(context.Background(), frame, scene)
+	return cap
+}
+
+// ObserveContext is Observe with cooperative cancellation: per-chirp
+// synthesis fans out across the radar's worker pool and stops early when
+// ctx is done, returning ctx.Err(). The receiver noise is drawn serially
+// from the radar's single seeded source in chirp order before the fan-out,
+// so the capture is bit-identical for any worker count — and to the former
+// fully-serial implementation.
+func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Scene) (*Capture, error) {
 	cap := &Capture{Frame: frame, IF: make([][]complex128, len(frame.Chirps))}
 	noiseSigma := math.Pow(10, channel.ThermalNoiseDBm(r.cfg.Chirp.SampleRate, r.cfg.Link.RadarNoiseFigureDB)/20)
 
@@ -164,9 +187,23 @@ func (r *Radar) Observe(frame *fmcw.Frame, scene Scene) *Capture {
 		})
 	}
 
+	// Pre-draw each chirp's noise sequentially: the RNG stream is consumed
+	// in exactly the order the serial loop consumed it, and the draws are
+	// added onto the synthesized echoes afterwards in the same order as
+	// before (echo sum first, noise last), keeping the capture bit-exact.
+	noiseBufs := make([][]complex128, len(frame.Chirps))
+	if noiseSigma > 0 {
+		for i, c := range frame.Chirps {
+			nb := make([]complex128, c.Params.SamplesPerChirp())
+			r.noise.AddComplex(nb, noiseSigma)
+			noiseBufs[i] = nb
+		}
+	}
+
 	residual := math.Pow(10, AbsorptiveResidualDB/20)
 	fs := r.cfg.Chirp.SampleRate
-	for i, c := range frame.Chirps {
+	err := r.pool.ForContext(ctx, len(frame.Chirps), func(i int) error {
+		c := frame.Chirps[i]
 		n := c.Params.SamplesPerChirp()
 		buf := make([]complex128, n)
 		chirpStart := float64(i) * frame.Period
@@ -189,10 +226,18 @@ func (r *Radar) Observe(frame *fmcw.Frame, scene Scene) *Capture {
 				ph += dphi
 			}
 		}
-		r.noise.AddComplex(buf, noiseSigma)
+		if nb := noiseBufs[i]; nb != nil {
+			for k := range buf {
+				buf[k] += nb[k]
+			}
+		}
 		cap.IF[i] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return cap
+	return cap, nil
 }
 
 // geomPhase is the round-trip carrier phase of a scatterer at range rng.
@@ -262,9 +307,18 @@ func (r *Radar) RawRangeProfile(cap *Capture, i int) (mags, ranges []float64) {
 // resampled onto the frame's common range grid, so slow-time processing sees
 // aligned profiles despite the varying CSSK slopes.
 func (r *Radar) CorrectedMatrix(cap *Capture) ([][]complex128, []float64) {
+	out, grid, _ := r.CorrectedMatrixContext(context.Background(), cap)
+	return out, grid
+}
+
+// CorrectedMatrixContext is CorrectedMatrix with cooperative cancellation.
+// Each chirp's range FFT and grid resampling is independent, so the rows
+// fan out across the worker pool and are written by index; the matrix is
+// byte-identical for any worker count.
+func (r *Radar) CorrectedMatrixContext(ctx context.Context, cap *Capture) ([][]complex128, []float64, error) {
 	grid := r.RangeGrid(cap.Frame)
 	out := make([][]complex128, len(cap.IF))
-	for i := range cap.IF {
+	err := r.pool.ForContext(ctx, len(cap.IF), func(i int) error {
 		c := cap.Frame.Chirps[i]
 		spec := r.rangeSpectrum(cap.IF[i], c.Params.Duration)
 		full := r.cfg.NFFT
@@ -283,8 +337,12 @@ func (r *Radar) CorrectedMatrix(cap *Capture) ([][]complex128, []float64) {
 			row[n] = complex(reG[n], imG[n])
 		}
 		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return out, grid
+	return out, grid, nil
 }
 
 // RangeGrid returns the common range grid for a frame.
@@ -323,7 +381,7 @@ func (r *Radar) RangeDoppler(matrix [][]complex128) [][]float64 {
 	}
 	nBins := len(matrix[0])
 	nfft := dsp.NextPowerOfTwo(nChirps)
-	plan, err := dsp.NewFFTPlan(nfft)
+	plan, err := dsp.PlanFor(nfft)
 	if err != nil {
 		panic(err) // unreachable: nfft is a power of two
 	}
@@ -331,19 +389,15 @@ func (r *Radar) RangeDoppler(matrix [][]complex128) [][]float64 {
 	for d := range out {
 		out[d] = make([]float64, nBins)
 	}
-	col := make([]complex128, nfft)
-	for b := 0; b < nBins; b++ {
-		for i := range col {
-			if i < nChirps {
-				col[i] = matrix[i][b]
-			} else {
-				col[i] = 0
-			}
+	r.pool.For(nBins, func(b int) {
+		col := make([]complex128, nfft)
+		for i := 0; i < nChirps; i++ {
+			col[i] = matrix[i][b]
 		}
 		plan.ForwardInto(col, col)
 		for d := 0; d < nfft; d++ {
 			out[d][b] = math.Hypot(real(col[d]), imag(col[d]))
 		}
-	}
+	})
 	return out
 }

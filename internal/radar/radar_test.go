@@ -490,17 +490,4 @@ func TestMultiTagSeparationByModulationFrequency(t *testing.T) {
 	}
 }
 
-func TestMedian(t *testing.T) {
-	if m := median([]float64{5, 1, 3}); m != 3 {
-		t.Fatalf("median %v", m)
-	}
-	if m := median(nil); m != 0 {
-		t.Fatalf("empty median %v", m)
-	}
-	// median must not modify its input.
-	x := []float64{3, 1, 2}
-	median(x)
-	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
-		t.Fatal("median mutated input")
-	}
-}
+// The shared median helper lives in dsp (dsp.Median) and is tested there.

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs BenchmarkExchange (the 4-node parallel exchange engine at worker-pool
+# widths 1/2/4/8) and records the timings into BENCH_exchange.json at the
+# repo root, together with the host core count — the hard bound on the
+# attainable speedup. Usage:
+#
+#   scripts/bench_exchange.sh [benchtime]    # default 3x
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-3x}"
+out=BENCH_exchange.json
+
+raw="$(go test -run '^$' -bench 'BenchmarkExchange$' -benchtime "$benchtime" .)"
+echo "$raw"
+
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+goversion="$(go env GOVERSION)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# Lines look like: BenchmarkExchange/workers=4-8   3   3237049592 ns/op
+# (the -N GOMAXPROCS suffix is absent when GOMAXPROCS=1).
+echo "$raw" | awk -v cores="$cores" -v gover="$goversion" -v date="$date_utc" '
+  /^BenchmarkExchange\/workers=/ {
+    split($1, parts, "=")
+    w = parts[2]; sub(/-[0-9]+$/, "", w)
+    ns[++n] = $3; workers[n] = w
+  }
+  /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+  END {
+    if (n == 0) { print "bench_exchange.sh: no BenchmarkExchange results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkExchange\",\n"
+    printf "  \"scenario\": \"4 nodes, 64 chirps/bit, 4 uplink bits per node\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cpu_cores\": %d,\n", cores
+    printf "  \"note\": \"Results are byte-identical at every width; only wall-clock changes. Speedup is bounded by cpu_cores: on a single-core host all widths time the same.\",\n"
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) {
+      # %.0f, not %d: mawk printf clamps %d at 2^31-1 and these are ns counts.
+      printf "    {\"workers\": %d, \"ns_per_op\": %.0f, \"speedup_vs_workers_1\": %.2f}%s\n", \
+        workers[i], ns[i], ns[1] / ns[i], (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+  }
+' > "$out"
+
+echo "wrote $out:"
+cat "$out"
