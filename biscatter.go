@@ -36,6 +36,21 @@
 // so a run is reproducible bit-for-bit at any worker count. See DESIGN.md
 // for the architecture and EXPERIMENTS.md for the paper-reproduction
 // results.
+//
+// Telemetry is opt-in and off by default. Attach a metrics registry to see
+// per-stage latency histograms (p50/p95/p99), per-node decode / detection /
+// demod outcome counters, BER tallies and detection-quality gauges:
+//
+//	m := biscatter.NewMetrics()
+//	net, err := biscatter.NewNetwork(cfg, biscatter.WithMetrics(m))
+//	// ... run exchanges ...
+//	snap := net.Metrics() // or m.Snapshot()
+//
+// WithTelemetry additionally streams structured pipeline events to a
+// Recorder. Counter values are deterministic for a given workload at any
+// worker count; timings and live pool gauges are not. See DESIGN.md
+// "Telemetry" for the metric naming scheme and the command-line debug
+// endpoints (-debug-addr, -metrics-out).
 package biscatter
 
 import (
@@ -45,6 +60,7 @@ import (
 	"biscatter/internal/fmcw"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
+	"biscatter/internal/telemetry"
 )
 
 // Re-exported configuration and result types. The aliases share identity
@@ -84,8 +100,28 @@ type (
 	UplinkFSKConfig = radar.UplinkFSKConfig
 	// Symbol is one CSSK chirp symbol of a downlink frame.
 	Symbol = cssk.Symbol
+	// DetectionDiag is the radar-side detection quality attached to each
+	// NodeResult — the uplink mirror of Diagnostics.
+	DetectionDiag = radar.DetectionDiag
+	// Metrics is a telemetry registry: lock-cheap counters, gauges and
+	// latency histograms the pipeline records into when attached via
+	// WithMetrics or WithTelemetry.
+	Metrics = telemetry.Metrics
+	// Snapshot is a point-in-time JSON-marshalable view of a Metrics
+	// registry.
+	Snapshot = telemetry.Snapshot
+	// HistogramStats summarizes one latency histogram (count, sum, mean,
+	// min, max, p50/p95/p99).
+	HistogramStats = telemetry.HistogramStats
+	// Recorder consumes structured pipeline events; see WithTelemetry.
+	Recorder = telemetry.Recorder
+	// Event is one structured pipeline event.
+	Event = telemetry.Event
+	// SliceRecorder is an in-memory Recorder for tests and tools.
+	SliceRecorder = telemetry.SliceRecorder
 	// Option is a functional option for NewNetwork; see WithWorkers,
-	// WithPreset, WithClutter, WithSeed and WithNodes.
+	// WithPreset, WithClutter, WithSeed, WithNodes, WithMetrics and
+	// WithTelemetry.
 	Option = core.Option
 	// ExchangeOption customizes a single Exchange round; see WithMinChirps.
 	ExchangeOption = core.ExchangeOption
@@ -129,6 +165,19 @@ func WithSeed(seed int64) Option { return core.WithSeed(seed) }
 // WithNodes places the backscatter nodes, replacing any already present in
 // the Config.
 func WithNodes(nodes ...NodeConfig) Option { return core.WithNodes(nodes...) }
+
+// WithMetrics attaches a telemetry registry; read it any time with
+// Network.Metrics() or Metrics.Snapshot(). A registry may be shared across
+// networks to aggregate. Telemetry never influences exchange results.
+func WithMetrics(m *Metrics) Option { return core.WithMetrics(m) }
+
+// WithTelemetry attaches a structured event recorder and ensures a metrics
+// registry exists — the one-call way to turn the full observability surface
+// on.
+func WithTelemetry(rec Recorder) Option { return core.WithTelemetry(rec) }
+
+// NewMetrics returns an empty telemetry registry for WithMetrics.
+func NewMetrics() *Metrics { return telemetry.New() }
 
 // WithMinChirps pads a single exchange's downlink frame to at least n
 // chirps for extra slow-time integration gain.

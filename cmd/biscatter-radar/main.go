@@ -6,6 +6,10 @@
 // its uplink bits.
 //
 //	biscatter-radar -tag 127.0.0.1:7001 -range 3.0 -payload "hello" -rounds 3
+//
+// Observability: -debug-addr serves live pipeline telemetry over HTTP
+// (/metrics.json, /debug/vars, /debug/pprof/) while rounds run, and
+// -metrics-out dumps the final telemetry snapshot as JSON on exit.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"biscatter/internal/core"
 	"biscatter/internal/netio"
 	"biscatter/internal/radar"
+	"biscatter/internal/telemetry"
 )
 
 func main() {
@@ -28,21 +33,36 @@ func main() {
 	bits := flag.Int("bits", 5, "CSSK symbol size (must match the tag)")
 	rounds := flag.Int("rounds", 3, "number of exchange rounds")
 	seed := flag.Int64("seed", 3, "noise seed")
+	debugAddr := flag.String("debug-addr", "", "serve live telemetry over HTTP on this address (e.g. localhost:6060)")
+	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this JSON file")
 	flag.Parse()
 
-	if err := run(*tagAddr, *listen, *tagRange, *payload, *bits, *rounds, *seed); err != nil {
+	if err := run(*tagAddr, *listen, *tagRange, *payload, *bits, *rounds, *seed, *debugAddr, *metricsOut); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(tagAddr, listen string, tagRange float64, payload string, bits, rounds int, seed int64) error {
+func run(tagAddr, listen string, tagRange float64, payload string, bits, rounds int, seed int64, debugAddr, metricsOut string) error {
+	var metrics *telemetry.Metrics
+	if debugAddr != "" || metricsOut != "" {
+		metrics = telemetry.New()
+	}
 	netw, err := core.NewNetwork(core.Config{
 		Nodes:      []core.NodeConfig{{ID: 1, Range: tagRange}},
 		SymbolBits: bits,
 		Seed:       seed,
+		Metrics:    metrics,
 	})
 	if err != nil {
 		return err
+	}
+	if debugAddr != "" {
+		ln, derr := telemetry.ServeDebug(debugAddr, metrics)
+		if derr != nil {
+			return fmt.Errorf("debug server: %w", derr)
+		}
+		defer ln.Close()
+		log.Printf("telemetry on http://%s/metrics.json (also /debug/vars, /debug/pprof/)", ln.Addr())
 	}
 	conn, err := netio.Listen(listen)
 	if err != nil {
@@ -59,6 +79,11 @@ func run(tagAddr, listen string, tagRange float64, payload string, bits, rounds 
 	for round := 0; round < rounds; round++ {
 		if err := exchange(conn, peer, netw, uint32(round), []byte(payload), tagRange); err != nil {
 			return fmt.Errorf("round %d: %w", round, err)
+		}
+	}
+	if metricsOut != "" {
+		if err := telemetry.WriteSnapshotFile(metricsOut, metrics.Snapshot()); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
 		}
 	}
 	return nil

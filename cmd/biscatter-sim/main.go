@@ -7,16 +7,22 @@
 //	biscatter-sim -frames 500 fig12   # more statistics per point
 //	biscatter-sim -csv out/ all       # also write CSV files
 //	biscatter-sim -list               # list experiment IDs
+//
+// Observability: -debug-addr serves live pipeline telemetry over HTTP
+// (/metrics.json, /debug/vars, /debug/pprof/) while experiments run, and
+// -metrics-out dumps the final telemetry snapshot as JSON on exit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"time"
 
 	"biscatter/internal/eval"
+	"biscatter/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +31,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 0, "worker-pool width for sweep fan-out (0 = all cores; results are identical for any width)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
+	debugAddr := flag.String("debug-addr", "", "serve live telemetry over HTTP on this address (e.g. localhost:6060)")
+	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this JSON file")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -43,6 +51,17 @@ func main() {
 		}
 	}
 	opts := eval.Options{Frames: *frames, Trials: *trials, Seed: *seed, Workers: *workers}
+	if *debugAddr != "" || *metricsOut != "" {
+		opts.Metrics = telemetry.New()
+	}
+	if *debugAddr != "" {
+		ln, err := telemetry.ServeDebug(*debugAddr, opts.Metrics)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer ln.Close()
+		log.Printf("telemetry on http://%s/metrics.json (also /debug/vars, /debug/pprof/)", ln.Addr())
+	}
 
 	exit := 0
 	for _, id := range ids {
@@ -66,6 +85,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s: csv: %v\n", id, err)
 				exit = 1
 			}
+		}
+	}
+	if *metricsOut != "" {
+		if err := telemetry.WriteSnapshotFile(*metricsOut, opts.Metrics.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+			exit = 1
 		}
 	}
 	os.Exit(exit)

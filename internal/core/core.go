@@ -16,6 +16,7 @@ import (
 	"biscatter/internal/parallel"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
+	"biscatter/internal/telemetry"
 )
 
 // LinkFromPreset derives a link budget from a radar preset, keeping the
@@ -76,6 +77,15 @@ type Config struct {
 	// per-node and per-bin work across; non-positive selects GOMAXPROCS.
 	// Results are byte-identical for any worker count.
 	Workers int
+	// Metrics receives the network's pipeline telemetry (per-stage latency
+	// histograms, per-node outcome counters, BER tallies, detection gauges,
+	// worker-pool statistics). Nil disables collection at near-zero cost.
+	// A registry may be shared across networks (eval sweeps aggregate this
+	// way). Telemetry never influences exchange results.
+	Metrics *telemetry.Metrics
+	// Recorder receives structured pipeline events (exchange begin/end,
+	// per-node decode / detection / demod outcomes); nil disables them.
+	Recorder telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +140,8 @@ type Network struct {
 	nodes    []*Node
 	pair     delayline.Pair
 	pool     *parallel.Pool
+	tel      coreTel
+	rec      telemetry.Recorder
 }
 
 // NewNetwork builds a network from the configuration, then applies the
@@ -173,6 +185,7 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 		Link:    link,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
+		Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -186,7 +199,9 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 		builder:  builder,
 		radar:    rd,
 		pair:     pair,
-		pool:     parallel.New(cfg.Workers),
+		pool:     parallel.New(cfg.Workers).Instrument(cfg.Metrics),
+		tel:      newCoreTel(cfg.Metrics, len(cfg.Nodes)),
+		rec:      cfg.Recorder,
 	}
 	chirpRate := 1 / cfg.Period
 	for i, nc := range cfg.Nodes {

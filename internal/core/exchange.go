@@ -29,6 +29,11 @@ type NodeResult struct {
 	UplinkBits []bool
 	// UplinkErr reports an uplink demodulation failure.
 	UplinkErr error
+	// UplinkDiag carries the radar-side detection quality for this node —
+	// the uplink mirror of DownlinkDiag. It is populated whether or not the
+	// detection succeeded (on failure it describes the best candidate bin),
+	// so experiments can see how far below threshold a miss was.
+	UplinkDiag radar.DetectionDiag
 }
 
 // ExchangeResult is the outcome of one full ISAC round.
@@ -101,7 +106,20 @@ func (n *Network) Exchange(payload []byte, uplinkBits map[int][]bool, opts ...Ex
 // per-node uplink demodulation — all write results by index, and every
 // node owns its seeded RNG, so the result is byte-identical for any worker
 // count (see Config.Workers / WithWorkers).
-func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ExchangeResult, error) {
+func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (res *ExchangeResult, err error) {
+	xsp := n.tel.exchange.Span()
+	defer func() {
+		xsp.End()
+		outcome(err, n.tel.exchOK, n.tel.exchErr)
+		if n.rec != nil {
+			n.event("exchange.end", -1, map[string]any{"ok": err == nil})
+		}
+	}()
+	if n.rec != nil {
+		n.event("exchange.begin", -1, map[string]any{
+			"payload_bytes": len(payload), "nodes": len(n.nodes),
+		})
+	}
 	var eo exchangeOptions
 	for _, opt := range opts {
 		opt(&eo)
@@ -117,22 +135,38 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	fsp := n.tel.frameBuild.Span()
 	frame, err := n.BuildDownlinkFrame(payload, minChirps)
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
-	res := &ExchangeResult{Frame: frame, Nodes: make([]NodeResult, len(n.nodes))}
+	res = &ExchangeResult{Frame: frame, Nodes: make([]NodeResult, len(n.nodes))}
 
 	// Downlink: each node captures the frame at its own SNR. The decodes
 	// are independent (each tag owns its front-end noise source), so they
-	// fan out across the pool.
+	// fan out across the pool. The telemetry handles are atomic, so the
+	// counter totals are deterministic for any worker count.
 	if err := n.pool.ForContext(ctx, len(n.nodes), func(i int) error {
 		node := n.nodes[i]
 		snr := n.link.DownlinkSNRdB(node.Range)
+		dlsp := n.tel.downlink.Span()
 		pl, diag, derr := node.Tag.ReceiveDownlink(frame, snr, n.pkt)
+		dlsp.End()
 		res.Nodes[i].DownlinkPayload = pl
 		res.Nodes[i].DownlinkErr = derr
 		res.Nodes[i].DownlinkDiag = diag
+		nt := n.tel.node(i)
+		outcome(derr, n.tel.dlOK, n.tel.dlErr)
+		outcome(derr, nt.dlOK, nt.dlErr)
+		if n.tel.enabled() {
+			e, t := CountBitErrors(payload, pl)
+			n.tel.dlBitErrs.Add(int64(e))
+			n.tel.dlBits.Add(int64(t))
+		}
+		if n.rec != nil {
+			n.event("node.downlink", i, map[string]any{"ok": derr == nil, "snr_db": snr})
+		}
 		return nil
 	}); err != nil {
 		return nil, err
@@ -152,10 +186,30 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 		return nil, err
 	}
 	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
+	if n.tel.enabled() {
+		// Introspection only: the exchange decode path never consumes the
+		// range-Doppler map, so this runs solely to light up the Doppler
+		// stage span and peak gauges. Decode results are identical either
+		// way.
+		n.observeDoppler(cm)
+	}
 
-	dets, derrs, err := n.detectNodes(ctx, matrix, grid)
+	dtsp := n.tel.detect.Span()
+	dets, diags, derrs, err := n.detectNodes(ctx, matrix, grid)
+	dtsp.End()
 	if err != nil {
 		return nil, err
+	}
+	if n.tel.enabled() {
+		// Gauges are last-write-wins; set them in node order here rather
+		// than inside the parallel loop so the surviving value is
+		// deterministic at any worker count.
+		for j := range dets {
+			if derrs[j] == nil {
+				n.tel.detSNR.Set(dets[j].SNRdB)
+				n.tel.detPSL.Set(diags[j].PeakToSidelobeDB)
+			}
+		}
 	}
 	// Demodulate every detected node's uplink; the matrix is read-only
 	// here and each node writes its own result slot.
@@ -163,22 +217,60 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 		node := n.nodes[i]
 		res.Nodes[i].Detection = dets[i]
 		res.Nodes[i].DetectionErr = derrs[i]
+		res.Nodes[i].UplinkDiag = diags[i]
+		nt := n.tel.node(i)
+		outcome(derrs[i], n.tel.detOK, n.tel.detErr)
+		outcome(derrs[i], nt.detOK, nt.detErr)
+		if n.rec != nil {
+			n.event("node.detect", i, map[string]any{
+				"ok": derrs[i] == nil, "bin": diags[i].PeakBin, "psl_db": diags[i].PeakToSidelobeDB,
+			})
+		}
 		if derrs[i] != nil {
+			if bits, ok := uplinkBits[i]; ok && len(bits) > 0 && n.tel.enabled() {
+				// A missed detection loses the whole uplink message:
+				// score every pending bit as an error.
+				n.tel.upBitErrs.Add(int64(len(bits)))
+				n.tel.upBits.Add(int64(len(bits)))
+			}
 			return nil
 		}
 		if bits, ok := uplinkBits[i]; ok && len(bits) > 0 {
+			usp := n.tel.demod.Span()
 			got, uerr := n.radar.DecodeUplinkFSK(matrix, dets[i].Bin, node.Uplink)
+			usp.End()
 			if uerr == nil && len(got) > len(bits) {
 				got = got[:len(bits)]
 			}
 			res.Nodes[i].UplinkBits = got
 			res.Nodes[i].UplinkErr = uerr
+			outcome(uerr, n.tel.upOK, n.tel.upErr)
+			outcome(uerr, nt.upOK, nt.upErr)
+			if n.tel.enabled() {
+				n.tel.upBitErrs.Add(int64(countBitMismatches(bits, got)))
+				n.tel.upBits.Add(int64(len(bits)))
+			}
+			if n.rec != nil {
+				n.event("node.uplink", i, map[string]any{"ok": uerr == nil, "bits": len(bits)})
+			}
 		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// countBitMismatches scores a decoded uplink bit vector against the sent
+// ground truth: a mismatch, or a sent bit missing from got, is one error.
+func countBitMismatches(sent, got []bool) int {
+	errs := 0
+	for i, b := range sent {
+		if i >= len(got) || got[i] != b {
+			errs++
+		}
+	}
+	return errs
 }
 
 // detectNodes locates every node jointly. A single-node search per tone is
@@ -193,12 +285,17 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 // Every node's F0 and F1 signature profiles are computed concurrently
 // (each scan is itself bin-parallel inside the radar); a cancelled ctx
 // aborts the scan and returns ctx.Err().
-func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []float64) ([]radar.Detection, []error, error) {
+//
+// The returned diagnostics are populated for every node — on a failed
+// detection they describe the best candidate bin, so callers can see how
+// far below threshold the miss was.
+func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []float64) ([]radar.Detection, []radar.DetectionDiag, []error, error) {
 	nn := len(n.nodes)
 	dets := make([]radar.Detection, nn)
+	diags := make([]radar.DetectionDiag, nn)
 	errs := make([]error, nn)
 	if nn == 0 {
-		return dets, errs, nil
+		return dets, diags, errs, nil
 	}
 	// tones[2j] and tones[2j+1] are node j's F0 and F1 profiles.
 	tones := make([][]float64, 2*nn)
@@ -211,7 +308,7 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 		tones[k] = n.radar.SignatureProfile(matrix, f, n.cfg.Period)
 		return nil
 	}); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	profs := make([][]float64, nn)
 	for j := range profs {
@@ -243,6 +340,11 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 				bestBin, bestVal = b, prof[b]
 			}
 		}
+		candBin := bestBin
+		if candBin < 0 {
+			candBin, _ = dsp.MaxIndex(prof)
+		}
+		diags[j] = radar.SignatureDiag(prof, candBin)
 		if bestBin < 0 || med <= 0 || bestVal < radar.DetectionThreshold*med {
 			errs[j] = radar.ErrTagNotFound
 			continue
@@ -263,7 +365,7 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 			SNRdB: 10 * math.Log10(bestVal/med),
 		}
 	}
-	return dets, errs, nil
+	return dets, diags, errs, nil
 }
 
 // Localize runs a sensing round (with the given frame, or a fixed-slope
@@ -296,7 +398,7 @@ func (n *Network) LocalizeContext(ctx context.Context, frame *fmcw.Frame, chirps
 		return nil, err
 	}
 	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
-	dets, derrs, err := n.detectNodes(ctx, matrix, grid)
+	dets, _, derrs, err := n.detectNodes(ctx, matrix, grid)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"biscatter/internal/channel"
 	"biscatter/internal/fmcw"
+	"biscatter/internal/telemetry"
 )
 
 // Option is a functional option for NewNetwork. Options run after the
@@ -39,6 +40,28 @@ func WithSeed(seed int64) Option {
 // the Config.
 func WithNodes(nodes ...NodeConfig) Option {
 	return func(c *Config) { c.Nodes = nodes }
+}
+
+// WithMetrics attaches a telemetry registry: per-stage latency histograms,
+// per-node outcome counters, BER tallies, detection gauges and worker-pool
+// statistics, readable at any time via Network.Metrics(). A registry may be
+// shared across networks to aggregate. Nil disables collection (the
+// default); telemetry never influences exchange results.
+func WithMetrics(m *telemetry.Metrics) Option {
+	return func(c *Config) { c.Metrics = m }
+}
+
+// WithTelemetry attaches a structured event recorder (exchange begin/end,
+// per-node decode / detection / demod outcomes) and ensures a metrics
+// registry exists — the one-call way to turn the full observability surface
+// on. A nil recorder still enables metrics.
+func WithTelemetry(rec telemetry.Recorder) Option {
+	return func(c *Config) {
+		c.Recorder = rec
+		if c.Metrics == nil {
+			c.Metrics = telemetry.New()
+		}
+	}
 }
 
 // exchangeOptions collects the per-round knobs of one Exchange call.

@@ -90,6 +90,9 @@ func TestExchangeWorkerCountInvariance(t *testing.T) {
 		if errString(s.UplinkErr) != errString(w.UplinkErr) {
 			t.Errorf("node %d: uplink errors differ: %v vs %v", i, s.UplinkErr, w.UplinkErr)
 		}
+		if s.UplinkDiag != w.UplinkDiag {
+			t.Errorf("node %d: uplink diagnostics differ: %+v vs %+v", i, s.UplinkDiag, w.UplinkDiag)
+		}
 	}
 }
 

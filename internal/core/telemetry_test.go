@@ -1,0 +1,196 @@
+package core
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"biscatter/internal/telemetry"
+)
+
+// fourNodeConfig mirrors the BenchmarkExchange node layout so the telemetry
+// tests (and the bench script's -metrics-out dump) describe the same
+// workload the benchmark times. Only the seed differs: the benchmark's seed
+// gives the farthest node a noise draw that fails its downlink CRC, and
+// these tests need every stage of every node to succeed.
+func fourNodeConfig(workers int) Config {
+	return Config{
+		Nodes: []NodeConfig{
+			{ID: 1, Range: 1.5},
+			{ID: 2, Range: 2.6},
+			{ID: 3, Range: 3.8},
+			{ID: 4, Range: 5.1},
+		},
+		ChirpsPerBit: 64,
+		Seed:         15,
+		Workers:      workers,
+	}
+}
+
+func fourNodeUplink() map[int][]bool {
+	return map[int][]bool{
+		0: {true, false, true, true},
+		1: {false, true, false, false},
+		2: {true, true, false, true},
+		3: {false, false, true, true},
+	}
+}
+
+// TestExchangeTelemetryStages is the acceptance check of the telemetry
+// subsystem: one full exchange with telemetry attached must light up every
+// pipeline stage span and every per-node outcome counter. When
+// BISCATTER_METRICS_OUT is set the final snapshot is written there —
+// scripts/bench_exchange.sh uses that to embed a per-stage breakdown in its
+// report.
+func TestExchangeTelemetryStages(t *testing.T) {
+	rec := &telemetry.SliceRecorder{}
+	m := telemetry.New()
+	n, err := NewNetwork(fourNodeConfig(0), WithMetrics(m), WithTelemetry(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Exchange(RandomPayload(5, 8), fourNodeUplink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nr := range res.Nodes {
+		if nr.DownlinkErr != nil || nr.DetectionErr != nil || nr.UplinkErr != nil {
+			t.Fatalf("node %d: exchange not clean: dl=%v det=%v up=%v",
+				i, nr.DownlinkErr, nr.DetectionErr, nr.UplinkErr)
+		}
+		if nr.UplinkDiag.PeakPower <= 0 || nr.UplinkDiag.PeakToSidelobeDB == 0 {
+			t.Errorf("node %d: UplinkDiag not populated: %+v", i, nr.UplinkDiag)
+		}
+	}
+	snap := n.Metrics()
+
+	stages := []string{
+		StageExchange, StageFrameBuild, StageDownlinkDecode, StageDetect, StageUplinkDemod,
+		"radar.synthesis", "radar.range_fft", "radar.if_correction",
+		"radar.doppler_fft", "radar.matched_filter",
+	}
+	for _, st := range stages {
+		h, ok := snap.Histograms[st+".seconds"]
+		if !ok || h.Count == 0 {
+			t.Errorf("stage %s: no span samples recorded (%+v)", st, h)
+		}
+	}
+	for i := range res.Nodes {
+		for _, c := range []string{"downlink.ok", "detect.ok", "uplink.ok"} {
+			name := "core.node." + strconv.Itoa(i) + "." + c
+			if snap.Counters[name] == 0 {
+				t.Errorf("counter %s: want non-zero", name)
+			}
+		}
+	}
+	for _, c := range []string{
+		"core.exchange.ok", "core.downlink.ok", "core.detect.ok", "core.uplink.ok",
+		"core.downlink.bits", "core.uplink.bits",
+		"parallel.tasks_queued", "parallel.tasks_completed",
+	} {
+		if snap.Counters[c] == 0 {
+			t.Errorf("counter %s: want non-zero", c)
+		}
+	}
+	for _, g := range []string{
+		"radar.detection.snr_db", "radar.detection.psl_db", "radar.doppler.peak_power",
+	} {
+		if snap.Gauges[g] == 0 {
+			t.Errorf("gauge %s: want non-zero", g)
+		}
+	}
+	// A clean exchange has no downlink bit errors and no uplink bit errors.
+	if snap.Counters["core.downlink.bit_errors"] != 0 {
+		t.Errorf("downlink bit errors on a clean exchange: %d", snap.Counters["core.downlink.bit_errors"])
+	}
+	if snap.Counters["core.uplink.bit_errors"] != 0 {
+		t.Errorf("uplink bit errors on a clean exchange: %d", snap.Counters["core.uplink.bit_errors"])
+	}
+
+	byName := rec.CountByName()
+	for _, e := range []string{"exchange.begin", "exchange.end", "node.downlink", "node.detect", "node.uplink"} {
+		if byName[e] == 0 {
+			t.Errorf("event %s: none recorded", e)
+		}
+	}
+	if byName["node.downlink"] != len(res.Nodes) {
+		t.Errorf("node.downlink events = %d, want %d", byName["node.downlink"], len(res.Nodes))
+	}
+
+	if path := os.Getenv("BISCATTER_METRICS_OUT"); path != "" {
+		if err := telemetry.WriteSnapshotFile(path, snap); err != nil {
+			t.Fatalf("BISCATTER_METRICS_OUT: %v", err)
+		}
+	}
+}
+
+// TestExchangeTelemetryDeterminism extends the worker-count invariance
+// contract to telemetry: counter values, histogram sample counts, gauges
+// outside the live "parallel." pool group, and the event multiset must all
+// depend only on the work done, never on how many workers did it. Timings
+// (histogram sums and quantiles) are exempt.
+func TestExchangeTelemetryDeterminism(t *testing.T) {
+	payload := RandomPayload(5, 8)
+	run := func(workers int) (telemetry.Snapshot, map[string]int) {
+		rec := &telemetry.SliceRecorder{}
+		n, err := NewNetwork(fourNodeConfig(workers), WithTelemetry(rec))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for round := 0; round < 3; round++ {
+			if _, err := n.Exchange(payload, fourNodeUplink()); err != nil {
+				t.Fatalf("workers=%d round=%d: %v", workers, round, err)
+			}
+		}
+		return n.Metrics(), rec.CountByName()
+	}
+	serialSnap, serialEvents := run(1)
+	wideSnap, wideEvents := run(8)
+
+	for name, v := range serialSnap.Counters {
+		if w := wideSnap.Counters[name]; w != v {
+			t.Errorf("counter %s: serial=%d wide=%d", name, v, w)
+		}
+	}
+	if len(serialSnap.Counters) != len(wideSnap.Counters) {
+		t.Errorf("counter sets differ: %d vs %d", len(serialSnap.Counters), len(wideSnap.Counters))
+	}
+	for name, h := range serialSnap.Histograms {
+		if w := wideSnap.Histograms[name]; w.Count != h.Count {
+			t.Errorf("histogram %s: sample count serial=%d wide=%d", name, h.Count, w.Count)
+		}
+	}
+	for name, v := range serialSnap.Gauges {
+		if strings.HasPrefix(name, "parallel.") {
+			continue // live pool state, legitimately worker-dependent
+		}
+		if w := wideSnap.Gauges[name]; w != v {
+			t.Errorf("gauge %s: serial=%v wide=%v", name, v, w)
+		}
+	}
+	for name, c := range serialEvents {
+		if w := wideEvents[name]; w != c {
+			t.Errorf("event %s: serial=%d wide=%d", name, c, w)
+		}
+	}
+	if len(serialEvents) != len(wideEvents) {
+		t.Errorf("event name sets differ: %v vs %v", serialEvents, wideEvents)
+	}
+}
+
+// TestExchangeWithoutTelemetryYieldsEmptySnapshot pins the disabled
+// default: no registry, no data, and Metrics() is still safe to call.
+func TestExchangeWithoutTelemetryYieldsEmptySnapshot(t *testing.T) {
+	n, err := NewNetwork(oneNodeConfig(2.6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Exchange([]byte("q"), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := n.Metrics()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("disabled telemetry must yield an empty snapshot: %+v", snap)
+	}
+}

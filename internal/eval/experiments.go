@@ -13,6 +13,7 @@ import (
 	"biscatter/internal/fmcw"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
+	"biscatter/internal/telemetry"
 )
 
 // Options scales the experiments. The paper collects 10 000 frames per
@@ -29,6 +30,10 @@ type Options struct {
 	// cores. Every sweep point carries its own seed, so the rendered
 	// tables are identical for any worker count.
 	Workers int
+	// Metrics, when non-nil, aggregates pipeline telemetry across every
+	// network the experiments build (the registry is concurrency-safe, so
+	// parallel sweep points share it). Nil disables collection.
+	Metrics *telemetry.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -549,6 +554,7 @@ func Fig15(o Options) (*Result, error) {
 				Nodes:   []core.NodeConfig{{ID: 1, Range: d}},
 				Seed:    o.Seed + int64(t)*131,
 				Workers: 1,
+				Metrics: o.Metrics,
 			})
 			if err != nil {
 				return math.Inf(-1)
@@ -607,6 +613,7 @@ func Fig16(o Options) (*Result, error) {
 				Nodes:   []core.NodeConfig{{ID: 1, Range: d}},
 				Seed:    o.Seed + int64(di*100+t),
 				Workers: 1,
+				Metrics: o.Metrics,
 			})
 			if err != nil {
 				return pair{math.NaN(), math.NaN()}
@@ -739,8 +746,9 @@ func Ablations(o Options) (*Result, error) {
 
 	// Background subtraction in heavy clutter.
 	n, err := core.NewNetwork(core.Config{
-		Nodes: []core.NodeConfig{{ID: 1, Range: 3.7}},
-		Seed:  o.Seed + 99,
+		Nodes:   []core.NodeConfig{{ID: 1, Range: 3.7}},
+		Seed:    o.Seed + 99,
+		Metrics: o.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -5,8 +5,9 @@
 //
 // The pool is deliberately minimal. It holds no goroutines between calls —
 // every For spawns its workers, distributes indices through an atomic
-// counter, and joins — so a Pool is just a worker-count policy and is safe
-// to share and embed freely. Determinism is the caller's contract: fn must
+// counter, and joins — so a Pool is just a worker-count policy (plus an
+// optional telemetry hook, see Instrument) and is safe to share and embed
+// freely. Determinism is the caller's contract: fn must
 // write results into pre-sized slices by index (never append) and must not
 // share mutable state across indices; under that contract the result is
 // byte-identical for any worker count, because only the execution order
@@ -18,18 +19,60 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"biscatter/internal/telemetry"
 )
 
 // Pool schedules index-parallel loops over a fixed number of workers.
 // The zero value is not ready; use New.
 type Pool struct {
 	workers int
+	stats   *poolStats
+}
+
+// poolStats holds the pool's pre-resolved telemetry handles. All fields are
+// nil-tolerant telemetry primitives, but the pool additionally gates on the
+// struct pointer so the disabled path takes no clock readings.
+type poolStats struct {
+	queued    *telemetry.Counter   // tasks handed to For/ForContext
+	completed *telemetry.Counter   // tasks whose fn returned
+	wait      *telemetry.Histogram // seconds from loop entry to task claim
+	duration  *telemetry.Histogram // seconds spent inside fn
+	busy      *telemetry.Gauge     // workers currently inside fn
+	width     *telemetry.Gauge     // effective width of the last loop
 }
 
 // New returns a pool of the given width. Non-positive widths select
 // GOMAXPROCS at call time, so a default pool tracks the machine.
 func New(workers int) *Pool {
 	return &Pool{workers: workers}
+}
+
+// Instrument attaches pool telemetry to the registry under the "parallel."
+// prefix and returns the pool for chaining: tasks queued/completed counters,
+// queue-wait and task-duration histograms, and a workers-busy gauge — the
+// data that says whether the pool width matches the workload. A nil registry
+// leaves the pool uninstrumented (zero overhead). Pools instrumented with
+// the same registry share the same metrics, giving an aggregate view across
+// the subsystem pools.
+//
+// Determinism: the queued/completed counts and histogram sample counts
+// depend only on the loops run, not on the worker count; timings and the
+// busy/width gauges are live state and exempt.
+func (p *Pool) Instrument(m *telemetry.Metrics) *Pool {
+	if m == nil {
+		return p
+	}
+	p.stats = &poolStats{
+		queued:    m.Counter("parallel.tasks_queued"),
+		completed: m.Counter("parallel.tasks_completed"),
+		wait:      m.Histogram("parallel.queue_wait.seconds"),
+		duration:  m.Histogram("parallel.task.seconds"),
+		busy:      m.Gauge("parallel.workers_busy"),
+		width:     m.Gauge("parallel.pool_width"),
+	}
+	return p
 }
 
 // Workers returns the effective worker count.
@@ -50,11 +93,34 @@ func (p *Pool) width(n int) int {
 	return w
 }
 
+// instrument wraps fn with per-task telemetry when the pool is
+// instrumented: queue wait (loop entry → claim), task duration, busy gauge
+// and completion count. Returns fn unchanged on an uninstrumented pool.
+func (p *Pool) instrument(n, width int, fn func(i int)) func(i int) {
+	st := p.stats
+	if st == nil {
+		return fn
+	}
+	st.queued.Add(int64(n))
+	st.width.Set(float64(width))
+	start := time.Now()
+	return func(i int) {
+		claimed := time.Now()
+		st.wait.Observe(claimed.Sub(start).Seconds())
+		st.busy.Add(1)
+		fn(i)
+		st.busy.Add(-1)
+		st.duration.Observe(time.Since(claimed).Seconds())
+		st.completed.Inc()
+	}
+}
+
 // For runs fn(i) for every i in [0, n), spread across the pool's workers,
 // and returns when all calls have finished. With one worker (or one index)
 // it degenerates to a plain loop.
 func (p *Pool) For(n int, fn func(i int)) {
 	w := p.width(n)
+	fn = p.instrument(n, w, fn)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -90,6 +156,22 @@ func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) erro
 		return err
 	}
 	w := p.width(n)
+	if st := p.stats; st != nil {
+		inner := fn
+		st.queued.Add(int64(n))
+		st.width.Set(float64(w))
+		start := time.Now()
+		fn = func(i int) error {
+			claimed := time.Now()
+			st.wait.Observe(claimed.Sub(start).Seconds())
+			st.busy.Add(1)
+			err := inner(i)
+			st.busy.Add(-1)
+			st.duration.Observe(time.Since(claimed).Seconds())
+			st.completed.Inc()
+			return err
+		}
+	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"biscatter/internal/telemetry"
 )
 
 func TestForCoversEveryIndexOnce(t *testing.T) {
@@ -126,4 +128,47 @@ func TestForContextSerialPath(t *testing.T) {
 	if len(order) != 4 {
 		t.Fatalf("serial path ran %d indices, want 4 (stop at first error)", len(order))
 	}
+}
+
+// TestInstrumentedPoolCounts pins the pool telemetry's determinism
+// contract: queued/completed counts and histogram sample counts depend only
+// on the loops run, never on the worker count, and the busy gauge returns
+// to zero once every loop has joined.
+func TestInstrumentedPoolCounts(t *testing.T) {
+	const n = 257
+	counts := func(workers int) telemetry.Snapshot {
+		m := telemetry.New()
+		p := New(workers).Instrument(m)
+		p.For(n, func(int) {})
+		if err := p.ForContext(context.Background(), n, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return m.Snapshot()
+	}
+	for _, workers := range []int{1, 8} {
+		s := counts(workers)
+		if got := s.Counters["parallel.tasks_queued"]; got != 2*n {
+			t.Errorf("workers=%d: tasks_queued = %d, want %d", workers, got, 2*n)
+		}
+		if got := s.Counters["parallel.tasks_completed"]; got != 2*n {
+			t.Errorf("workers=%d: tasks_completed = %d, want %d", workers, got, 2*n)
+		}
+		if got := s.Histograms["parallel.task.seconds"].Count; got != 2*n {
+			t.Errorf("workers=%d: task duration samples = %d, want %d", workers, got, 2*n)
+		}
+		if got := s.Histograms["parallel.queue_wait.seconds"].Count; got != 2*n {
+			t.Errorf("workers=%d: queue wait samples = %d, want %d", workers, got, 2*n)
+		}
+		if got := s.Gauges["parallel.workers_busy"]; got != 0 {
+			t.Errorf("workers=%d: workers_busy after join = %v, want 0", workers, got)
+		}
+	}
+}
+
+func TestInstrumentNilRegistryIsNoop(t *testing.T) {
+	p := New(4).Instrument(nil)
+	if p.stats != nil {
+		t.Fatal("nil registry must leave the pool uninstrumented")
+	}
+	p.For(10, func(int) {})
 }

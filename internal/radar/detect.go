@@ -29,6 +29,54 @@ type Detection struct {
 	SNRdB float64
 }
 
+// SidelobeGuard is the half-width in range bins around a signature peak
+// excluded when measuring the peak-to-sidelobe ratio; it covers the
+// mainlobe spread of the windowed, resampled range response.
+const SidelobeGuard = 3
+
+// DetectionDiag reports the radar-side quality of one matched-filter tag
+// search — the uplink mirror of the tag decoder's Diagnostics. It says why
+// a detection (and hence an uplink decode) succeeded or failed: how strong
+// the signature peak was against the noise floor the threshold is applied
+// to, and how cleanly it stood above the next-best range bin.
+type DetectionDiag struct {
+	// PeakBin is the range bin the diagnostics describe — the winning bin,
+	// or the best candidate when detection failed.
+	PeakBin int
+	// PeakPower is the signature power at PeakBin.
+	PeakPower float64
+	// MedianPower is the median signature power across range bins, the
+	// noise estimate DetectionThreshold is applied against.
+	MedianPower float64
+	// PeakToSidelobeDB is PeakPower over the strongest signature outside
+	// ±SidelobeGuard bins of the peak, in dB. Higher means a cleaner, less
+	// ambiguous fix; values near zero flag near-far ambiguity with another
+	// scatterer or node.
+	PeakToSidelobeDB float64
+}
+
+// SignatureDiag computes detection-quality diagnostics for a signature
+// profile and a candidate peak bin. A bin outside the profile yields the
+// zero diagnostics.
+func SignatureDiag(prof []float64, bin int) DetectionDiag {
+	d := DetectionDiag{PeakBin: bin}
+	if bin < 0 || bin >= len(prof) {
+		return d
+	}
+	d.PeakPower = prof[bin]
+	d.MedianPower = dsp.Median(prof)
+	side := 0.0
+	for b, v := range prof {
+		if (b < bin-SidelobeGuard || b > bin+SidelobeGuard) && v > side {
+			side = v
+		}
+	}
+	if side > 0 && d.PeakPower > 0 {
+		d.PeakToSidelobeDB = 10 * math.Log10(d.PeakPower/side)
+	}
+	return d
+}
+
 // MagnitudeMatrix converts a corrected complex matrix into per-chirp
 // magnitude range profiles. Slow-time (across-chirp) processing runs on
 // magnitudes: with CSSK the per-chirp window length enters the spectral
@@ -82,6 +130,8 @@ func slowTimeTonePower(matrix [][]float64, bin int, fMod, chirpRate float64) flo
 // bin is written by index, so the profile is identical for any worker
 // count.
 func (r *Radar) SignatureProfile(matrix [][]float64, fMod, period float64) []float64 {
+	sp := r.tel.matched.Span()
+	defer sp.End()
 	if len(matrix) == 0 {
 		return nil
 	}
@@ -138,11 +188,18 @@ func (r *Radar) DetectTagExcluding(matrix [][]float64, grid []float64, fMod, per
 		delta = d
 	}
 	binWidth := grid[1] - grid[0]
-	return Detection{
+	det := Detection{
 		Range: grid[bin] + delta*binWidth,
 		Bin:   bin,
 		SNRdB: 10 * math.Log10(peak/med),
-	}, nil
+	}
+	if r.tel.detSNR != nil {
+		// Guarded: SignatureDiag re-sorts the profile for its median, a
+		// cost the disabled-telemetry path must not pay.
+		r.tel.detSNR.Set(det.SNRdB)
+		r.tel.detPSL.Set(SignatureDiag(prof, bin).PeakToSidelobeDB)
+	}
+	return det, nil
 }
 
 // UplinkFSKConfig describes the tag's slow-time FSK parameters as known to

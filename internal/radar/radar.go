@@ -15,6 +15,26 @@ import (
 	"biscatter/internal/dsp"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/parallel"
+	"biscatter/internal/telemetry"
+)
+
+// Telemetry stage names for the radar pipeline. Each stage records its
+// per-unit durations into the histogram named "<stage>.seconds" (per chirp
+// for synthesis / range FFT / IF correction, per call for the Doppler FFT
+// and the per-tone matched-filter scan). See DESIGN.md "Telemetry".
+const (
+	StageSynthesis     = "radar.synthesis"
+	StageRangeFFT      = "radar.range_fft"
+	StageIFCorrection  = "radar.if_correction"
+	StageDopplerFFT    = "radar.doppler_fft"
+	StageMatchedFilter = "radar.matched_filter"
+)
+
+// Telemetry gauge names shared by the radar detection paths (the core
+// exchange engine writes the same gauges for its joint multi-node search).
+const (
+	GaugeDetectionSNR = "radar.detection.snr_db"
+	GaugeDetectionPSL = "radar.detection.psl_db"
 )
 
 // AbsorptiveResidualDB is the residual reflection of the tag in absorptive
@@ -48,6 +68,10 @@ type Config struct {
 	// non-positive selects GOMAXPROCS. Results are byte-identical for any
 	// worker count.
 	Workers int
+	// Metrics receives per-stage pipeline telemetry (spans, detection
+	// gauges, pool counters); nil disables collection at near-zero cost.
+	// Telemetry never influences processing results.
+	Metrics *telemetry.Metrics
 }
 
 // Radar is the receive-side processor.
@@ -56,6 +80,38 @@ type Radar struct {
 	noise *channel.Noise
 	plan  *dsp.FFTPlan
 	pool  *parallel.Pool
+	tel   radarTel
+}
+
+// radarTel holds the radar's pre-resolved telemetry handles so the hot
+// per-chirp loops skip registry lookups. The zero value (all nil) is the
+// disabled state: nil histograms hand out inert spans that take no clock
+// readings.
+type radarTel struct {
+	synthesis *telemetry.Histogram
+	rangeFFT  *telemetry.Histogram
+	ifCorr    *telemetry.Histogram
+	doppler   *telemetry.Histogram
+	matched   *telemetry.Histogram
+	detSNR    *telemetry.Gauge
+	detPSL    *telemetry.Gauge
+}
+
+// newRadarTel resolves the radar's metric handles; a nil registry yields
+// the inert zero value.
+func newRadarTel(m *telemetry.Metrics) radarTel {
+	if m == nil {
+		return radarTel{}
+	}
+	return radarTel{
+		synthesis: m.Histogram(StageSynthesis + ".seconds"),
+		rangeFFT:  m.Histogram(StageRangeFFT + ".seconds"),
+		ifCorr:    m.Histogram(StageIFCorrection + ".seconds"),
+		doppler:   m.Histogram(StageDopplerFFT + ".seconds"),
+		matched:   m.Histogram(StageMatchedFilter + ".seconds"),
+		detSNR:    m.Gauge(GaugeDetectionSNR),
+		detPSL:    m.Gauge(GaugeDetectionPSL),
+	}
 }
 
 // New builds a Radar, applying defaults.
@@ -86,7 +142,8 @@ func New(cfg Config) (*Radar, error) {
 		cfg:   cfg,
 		noise: channel.NewNoise(cfg.Seed),
 		plan:  plan,
-		pool:  parallel.New(cfg.Workers),
+		pool:  parallel.New(cfg.Workers).Instrument(cfg.Metrics),
+		tel:   newRadarTel(cfg.Metrics),
 	}, nil
 }
 
@@ -203,6 +260,8 @@ func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Sce
 	residual := math.Pow(10, AbsorptiveResidualDB/20)
 	fs := r.cfg.Chirp.SampleRate
 	err := r.pool.ForContext(ctx, len(frame.Chirps), func(i int) error {
+		sp := r.tel.synthesis.Span()
+		defer sp.End()
 		c := frame.Chirps[i]
 		n := c.Params.SamplesPerChirp()
 		buf := make([]complex128, n)
@@ -320,7 +379,11 @@ func (r *Radar) CorrectedMatrixContext(ctx context.Context, cap *Capture) ([][]c
 	out := make([][]complex128, len(cap.IF))
 	err := r.pool.ForContext(ctx, len(cap.IF), func(i int) error {
 		c := cap.Frame.Chirps[i]
+		sp := r.tel.rangeFFT.Span()
 		spec := r.rangeSpectrum(cap.IF[i], c.Params.Duration)
+		sp.End()
+		sp = r.tel.ifCorr.Span()
+		defer sp.End()
 		full := r.cfg.NFFT
 		re := make([]float64, full)
 		im := make([]float64, full)
@@ -375,6 +438,8 @@ func SubtractBackground(matrix [][]complex128) [][]complex128 {
 // RangeDoppler computes the slow-time FFT across chirps for every range bin
 // of a corrected matrix, returning magnitudes indexed [doppler][range].
 func (r *Radar) RangeDoppler(matrix [][]complex128) [][]float64 {
+	sp := r.tel.doppler.Span()
+	defer sp.End()
 	nChirps := len(matrix)
 	if nChirps == 0 {
 		return nil

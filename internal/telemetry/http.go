@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// current is the registry the process-wide expvar export reads. expvar
+// variables cannot be unpublished, so the export is published once and
+// indirects through this pointer; the latest ServeDebug/PublishExpvar call
+// wins.
+var (
+	current     atomic.Pointer[Metrics]
+	publishOnce sync.Once
+)
+
+// PublishExpvar exports m's snapshot as the expvar variable "biscatter"
+// (visible at /debug/vars wherever expvar is served). Calling it again
+// redirects the existing variable to the new registry.
+func PublishExpvar(m *Metrics) {
+	current.Store(m)
+	publishOnce.Do(func() {
+		expvar.Publish("biscatter", expvar.Func(func() any {
+			return current.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the live-introspection mux for a registry:
+//
+//	/metrics.json  — indented JSON Snapshot of m
+//	/debug/vars    — expvar (includes the "biscatter" snapshot and Go runtime vars)
+//	/debug/pprof/* — CPU, heap, goroutine and trace profiles
+func Handler(m *Metrics) http.Handler {
+	PublishExpvar(m)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds addr and serves Handler(m) in a background goroutine,
+// returning the listener so callers can log the resolved address (use
+// ":0" to pick a free port) and close it on shutdown.
+func ServeDebug(addr string, m *Metrics) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(m)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
+// WriteSnapshotFile writes the snapshot as indented JSON to path — the
+// -metrics-out dump format, also embedded into BENCH_exchange.json by
+// scripts/bench_exchange.sh.
+func WriteSnapshotFile(path string, s Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured pipeline occurrence: an exchange starting, a
+// node's downlink decode finishing, a detection verdict. Events carry
+// small free-form field maps rather than a fixed schema so new stages can
+// add context without breaking sinks.
+//
+// Events emitted from parallel stages arrive in scheduling order; only
+// their multiset (names, per-node fields) is deterministic across worker
+// counts, not their interleaving.
+type Event struct {
+	// Time is when the event was recorded.
+	Time time.Time `json:"time"`
+	// Name identifies the event kind, dotted lowercase ("exchange.begin",
+	// "node.downlink").
+	Name string `json:"name"`
+	// Node is the network node index the event concerns, or -1 when the
+	// event is not node-scoped.
+	Node int `json:"node"`
+	// Fields carries event-specific context (durations, outcomes, SNRs).
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Recorder is the pluggable structured event sink. Implementations must be
+// safe for concurrent use: parallel pipeline stages record without
+// coordination.
+type Recorder interface {
+	Record(Event)
+}
+
+// NopRecorder discards every event.
+type NopRecorder struct{}
+
+// Record implements Recorder.
+func (NopRecorder) Record(Event) {}
+
+// SliceRecorder accumulates events in memory under a mutex — the test and
+// introspection sink.
+type SliceRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record implements Recorder.
+func (r *SliceRecorder) Record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (r *SliceRecorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// CountByName returns how many recorded events carry each name.
+func (r *SliceRecorder) CountByName() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]int{}
+	for _, e := range r.events {
+		out[e.Name]++
+	}
+	return out
+}
+
+// JSONLRecorder streams events to a writer as JSON lines, serialized by a
+// mutex so concurrent records never interleave bytes.
+type JSONLRecorder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLRecorder returns a recorder writing one JSON object per line to w.
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
+	return &JSONLRecorder{enc: json.NewEncoder(w)}
+}
+
+// Record implements Recorder. Encoding errors are dropped: an event sink
+// must never fail the pipeline.
+func (r *JSONLRecorder) Record(e Event) {
+	r.mu.Lock()
+	_ = r.enc.Encode(e)
+	r.mu.Unlock()
+}

@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	m := New()
+	c := m.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if m.Counter("a.count") != c {
+		t.Fatal("registry must return the same counter for the same name")
+	}
+	g := m.Gauge("a.level")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+// TestHistogramQuantilesAgainstSortedReference pins the histogram's
+// quantiles against an independently computed nearest-rank reference over
+// the same samples.
+func TestHistogramQuantilesAgainstSortedReference(t *testing.T) {
+	m := New()
+	h := m.Histogram("lat")
+	// 500 values fit inside the ring window, so the quantiles are exact.
+	vals := make([]float64, 500)
+	for i := range vals {
+		// A non-monotonic ordering so sortedness comes from Stats, not
+		// insertion order.
+		v := float64((i*7919)%500) + 1 // permutation of 1..500
+		vals[i] = v
+		h.Observe(v)
+	}
+	ref := append([]float64(nil), vals...)
+	sort.Float64s(ref)
+	refQ := func(q float64) float64 { return ref[int(math.Ceil(q*float64(len(ref))))-1] }
+
+	s := h.Stats()
+	if s.Count != 500 {
+		t.Fatalf("count = %d, want 500", s.Count)
+	}
+	if want := 500.0 * 501 / 2; s.Sum != want {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+	if s.Min != 1 || s.Max != 500 {
+		t.Fatalf("min/max = %v/%v, want 1/500", s.Min, s.Max)
+	}
+	for _, tc := range []struct {
+		q    float64
+		got  float64
+		name string
+	}{{0.50, s.P50, "p50"}, {0.95, s.P95, "p95"}, {0.99, s.P99, "p99"}} {
+		if want := refQ(tc.q); tc.got != want {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, want)
+		}
+	}
+}
+
+func TestHistogramWindowOverflow(t *testing.T) {
+	h := New().Histogram("h")
+	for i := 0; i < 3*histWindow; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Stats()
+	if s.Count != 3*histWindow {
+		t.Fatalf("count = %d, want %d", s.Count, 3*histWindow)
+	}
+	// The window holds the last histWindow observations, so the minimum of
+	// the window is the first sample of the final wrap.
+	if s.Min != float64(2*histWindow) {
+		t.Fatalf("window min = %v, want %v", s.Min, float64(2*histWindow))
+	}
+	if s.Max != float64(3*histWindow-1) {
+		t.Fatalf("window max = %v, want %v", s.Max, float64(3*histWindow-1))
+	}
+}
+
+// TestNilRegistryIsInert is the disabled-telemetry contract: every method
+// chain off a nil *Metrics must be a safe no-op.
+func TestNilRegistryIsInert(t *testing.T) {
+	var m *Metrics
+	m.Counter("x").Inc()
+	m.Gauge("x").Set(1)
+	m.Gauge("x").Add(1)
+	m.Histogram("x").Observe(1)
+	sp := m.Span("x")
+	sp.End()
+	m.Histogram("x").Span().End()
+	if v := m.Counter("x").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	s := m.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	m := New()
+	sp := m.Span("stage.demo")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	s := m.Histogram("stage.demo.seconds").Stats()
+	if s.Count != 1 {
+		t.Fatalf("span count = %d, want 1", s.Count)
+	}
+	if s.Sum <= 0 {
+		t.Fatalf("span duration = %v, want > 0", s.Sum)
+	}
+}
+
+// TestConcurrentUpdatesRace hammers one registry from many goroutines —
+// counters, gauges, histograms, registration and snapshots all at once —
+// and checks the deterministic totals. Run under -race this is the
+// lock-correctness proof for the metrics core.
+func TestConcurrentUpdatesRace(t *testing.T) {
+	m := New()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Counter("shared.count").Inc()
+				m.Counter(fmt.Sprintf("per.%d.count", id)).Inc()
+				m.Gauge("shared.level").Add(1)
+				m.Gauge("shared.level").Add(-1)
+				m.Histogram("shared.hist").Observe(float64(i))
+				if i%64 == 0 {
+					_ = m.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.Counter("shared.count").Value(); got != goroutines*perG {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := m.Histogram("shared.hist").Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got := m.Gauge("shared.level").Value(); got != 0 {
+		t.Fatalf("gauge after balanced adds = %v, want 0", got)
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["per.3.count"]; got != perG {
+		t.Fatalf("per-goroutine counter = %d, want %d", got, perG)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		m := New()
+		m.Counter("b").Add(2)
+		m.Counter("a").Add(1)
+		m.Gauge("g").Set(3.5)
+		m.Histogram("h").Observe(1)
+		return m.Snapshot()
+	}
+	j1, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestRecorders(t *testing.T) {
+	var sr SliceRecorder
+	var sb strings.Builder
+	jr := NewJSONLRecorder(&sb)
+	for i := 0; i < 3; i++ {
+		e := Event{Name: "node.downlink", Node: i, Fields: map[string]any{"ok": true}}
+		sr.Record(e)
+		jr.Record(e)
+	}
+	sr.Record(Event{Name: "exchange.end", Node: -1})
+	if got := sr.CountByName()["node.downlink"]; got != 3 {
+		t.Fatalf("slice recorder counted %d node.downlink events, want 3", got)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("jsonl recorder wrote %d lines, want 3", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("jsonl line not valid JSON: %v", err)
+	}
+	if e.Name != "node.downlink" || e.Node != 1 {
+		t.Fatalf("round-tripped event = %+v", e)
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	m := New()
+	m.Counter("demo.count").Add(7)
+	m.Span("demo.stage").End()
+	ln, err := ServeDebug("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + ln.Addr().String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counters["demo.count"] != 7 {
+		t.Fatalf("snapshot over HTTP lost the counter: %+v", snap)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"biscatter"`) || !strings.Contains(vars, "demo.count") {
+		t.Fatalf("/debug/vars missing published metrics: %.200s", vars)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected: %.120s", body)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	one := []float64{42}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := Quantile(one, q); got != 42 {
+			t.Fatalf("single-element q%v = %v", q, got)
+		}
+	}
+}

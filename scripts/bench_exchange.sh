@@ -2,7 +2,8 @@
 # Runs BenchmarkExchange (the 4-node parallel exchange engine at worker-pool
 # widths 1/2/4/8) and records the timings into BENCH_exchange.json at the
 # repo root, together with the host core count — the hard bound on the
-# attainable speedup. Usage:
+# attainable speedup — and a per-stage telemetry breakdown of the same
+# 4-node workload (schema 2). Usage:
 #
 #   scripts/bench_exchange.sh [benchtime]    # default 3x
 set -euo pipefail
@@ -13,6 +14,14 @@ out=BENCH_exchange.json
 
 raw="$(go test -run '^$' -bench 'BenchmarkExchange$' -benchtime "$benchtime" .)"
 echo "$raw"
+
+# One instrumented run of the same 4-node scenario dumps a telemetry
+# snapshot: per-stage latency histograms (p50/p95/p99), per-node outcome
+# counters, BER tallies and pool statistics.
+telemetry_file="$(mktemp)"
+trap 'rm -f "$telemetry_file"' EXIT
+BISCATTER_METRICS_OUT="$telemetry_file" \
+  go test -run 'TestExchangeTelemetryStages$' -count=1 ./internal/core/ >/dev/null
 
 cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
 goversion="$(go env GOVERSION)"
@@ -30,22 +39,27 @@ echo "$raw" | awk -v cores="$cores" -v gover="$goversion" -v date="$date_utc" '
   END {
     if (n == 0) { print "bench_exchange.sh: no BenchmarkExchange results parsed" > "/dev/stderr"; exit 1 }
     printf "{\n"
+    printf "  \"schema\": 2,\n"
     printf "  \"benchmark\": \"BenchmarkExchange\",\n"
     printf "  \"scenario\": \"4 nodes, 64 chirps/bit, 4 uplink bits per node\",\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", gover
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"cpu_cores\": %d,\n", cores
-    printf "  \"note\": \"Results are byte-identical at every width; only wall-clock changes. Speedup is bounded by cpu_cores: on a single-core host all widths time the same.\",\n"
+    printf "  \"note\": \"Results are byte-identical at every width; only wall-clock changes. Speedup is bounded by cpu_cores: on a single-core host all widths time the same. The telemetry timings come from one instrumented run on this host, not from the benchmark loop.\",\n"
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) {
       # %.0f, not %d: mawk printf clamps %d at 2^31-1 and these are ns counts.
       printf "    {\"workers\": %d, \"ns_per_op\": %.0f, \"speedup_vs_workers_1\": %.2f}%s\n", \
         workers[i], ns[i], ns[1] / ns[i], (i < n ? "," : "")
     }
-    printf "  ]\n}\n"
+    printf "  ],\n"
+    printf "  \"telemetry\":\n"
   }
 ' > "$out"
+# Append the snapshot (already indented JSON) and close the object.
+sed 's/^/  /' "$telemetry_file" >> "$out"
+echo "}" >> "$out"
 
 echo "wrote $out:"
 cat "$out"
