@@ -57,6 +57,7 @@ import (
 	"biscatter/internal/channel"
 	"biscatter/internal/core"
 	"biscatter/internal/cssk"
+	"biscatter/internal/fault"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
@@ -119,9 +120,26 @@ type (
 	Event = telemetry.Event
 	// SliceRecorder is an in-memory Recorder for tests and tools.
 	SliceRecorder = telemetry.SliceRecorder
+	// FaultProfile is a named impairment scenario applied to a network via
+	// WithFaults: burst interference, chirp dropouts, moving clutter and
+	// per-tag front-end degradations, all seeded and reproducible.
+	FaultProfile = fault.Profile
+	// Interference configures the duty-cycled in-band jammer of a
+	// FaultProfile.
+	Interference = fault.Interference
+	// Dropout configures per-chirp TX dropouts of a FaultProfile.
+	Dropout = fault.Dropout
+	// TagFaults groups the tag-front-end impairments of a FaultProfile.
+	TagFaults = fault.TagFaults
+	// OscillatorDrift configures tag beat-frequency drift.
+	OscillatorDrift = fault.OscillatorDrift
+	// Saturation configures tag ADC clipping and quantization.
+	Saturation = fault.Saturation
+	// Desync configures tag capture-start jitter against the chirp period.
+	Desync = fault.Desync
 	// Option is a functional option for NewNetwork; see WithWorkers,
-	// WithPreset, WithClutter, WithSeed, WithNodes, WithMetrics and
-	// WithTelemetry.
+	// WithPreset, WithClutter, WithSeed, WithNodes, WithFaults, WithMetrics
+	// and WithTelemetry.
 	Option = core.Option
 	// ExchangeOption customizes a single Exchange round; see WithMinChirps.
 	ExchangeOption = core.ExchangeOption
@@ -165,6 +183,11 @@ func WithSeed(seed int64) Option { return core.WithSeed(seed) }
 // WithNodes places the backscatter nodes, replacing any already present in
 // the Config.
 func WithNodes(nodes ...NodeConfig) Option { return core.WithNodes(nodes...) }
+
+// WithFaults applies an impairment profile to the whole network. Nil — or a
+// profile with every impairment disabled — leaves all exchange results and
+// telemetry byte-identical to a fault-free network.
+func WithFaults(p *FaultProfile) Option { return core.WithFaults(p) }
 
 // WithMetrics attaches a telemetry registry; read it any time with
 // Network.Metrics() or Metrics.Snapshot(). A registry may be shared across

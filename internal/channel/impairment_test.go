@@ -1,0 +1,166 @@
+package channel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestLinkValidateTable pins every Validate error case and the fields each
+// message names, so the error contract stays stable for callers that surface
+// configuration mistakes.
+func TestLinkValidateTable(t *testing.T) {
+	mod := func(f func(*Link)) Link {
+		l := DefaultLink()
+		f(&l)
+		return l
+	}
+	cases := []struct {
+		name    string
+		link    Link
+		wantErr string // substring; empty means valid
+	}{
+		{"default is valid", DefaultLink(), ""},
+		{"zero frequency", mod(func(l *Link) { l.Frequency = 0 }), "frequency"},
+		{"negative frequency", mod(func(l *Link) { l.Frequency = -9.5e9 }), "frequency"},
+		{"zero IF bandwidth", mod(func(l *Link) { l.IFBandwidth = 0 }), "IF bandwidth"},
+		{"negative IF bandwidth", mod(func(l *Link) { l.IFBandwidth = -4e6 }), "IF bandwidth"},
+		{"frequency checked before bandwidth", mod(func(l *Link) { l.Frequency = 0; l.IFBandwidth = 0 }), "frequency"},
+		{"zero value link", Link{}, "frequency"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.link.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestOfficeClutterInvariants pins the properties the pipeline relies on:
+// the office scene is static, sorted by range, within the radar's operating
+// extent, and every reflector produces a finite echo under the default
+// budget.
+func TestOfficeClutterInvariants(t *testing.T) {
+	clutter := OfficeClutter()
+	if len(clutter) == 0 {
+		t.Fatal("office clutter is empty")
+	}
+	link := DefaultLink()
+	for i, r := range clutter {
+		if r.Range <= 0 {
+			t.Errorf("reflector %d: range %v must be positive", i, r.Range)
+		}
+		if r.Range > 10 {
+			t.Errorf("reflector %d: range %v m outside a plausible office", i, r.Range)
+		}
+		if r.Velocity != 0 {
+			t.Errorf("reflector %d: static office scene must have zero velocity, got %v", i, r.Velocity)
+		}
+		if i > 0 && clutter[i-1].Range >= r.Range {
+			t.Errorf("reflector %d: ranges must be strictly increasing (%v then %v)",
+				i, clutter[i-1].Range, r.Range)
+		}
+		p := link.EchoPowerDBm(r)
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Errorf("reflector %d: echo power %v not finite", i, p)
+		}
+	}
+	// Each call returns a fresh slice: mutating one scene must not leak into
+	// the next network's default clutter.
+	clutter[0].Range = 99
+	if OfficeClutter()[0].Range == 99 {
+		t.Error("OfficeClutter returns shared state")
+	}
+}
+
+// TestDistanceForDownlinkSNRQuickProperty drives the SNR↔distance inversion
+// with testing/quick across the valid domain in both directions.
+func TestDistanceForDownlinkSNRQuickProperty(t *testing.T) {
+	link := DefaultLink()
+	fromSNR := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		// Fold the arbitrary float into the physically meaningful SNR band.
+		snr := math.Mod(math.Abs(raw), 120) - 40 // [-40, 80) dB
+		d := link.DistanceForDownlinkSNR(snr)
+		if d <= 0 || math.IsNaN(d) {
+			return false
+		}
+		return math.Abs(link.DownlinkSNRdB(d)-snr) < 1e-9
+	}
+	fromDistance := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		d := 0.01 + math.Mod(math.Abs(raw), 100) // (0, 100) m
+		back := link.DistanceForDownlinkSNR(link.DownlinkSNRdB(d))
+		return math.Abs(back-d) < 1e-9*d
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(fromSNR, cfg); err != nil {
+		t.Errorf("SNR→distance→SNR: %v", err)
+	}
+	if err := quick.Check(fromDistance, cfg); err != nil {
+		t.Errorf("distance→SNR→distance: %v", err)
+	}
+}
+
+func TestPowerSumDBm(t *testing.T) {
+	negInf := math.Inf(-1)
+	if got := PowerSumDBm(negInf, -76); got != -76 {
+		t.Errorf("PowerSumDBm(-Inf, -76) = %v, want -76", got)
+	}
+	if got := PowerSumDBm(-76, negInf); got != -76 {
+		t.Errorf("PowerSumDBm(-76, -Inf) = %v, want -76", got)
+	}
+	// Two equal powers combine to +3.01 dB.
+	if got := PowerSumDBm(-70, -70); !approxEq(got, -70+10*math.Log10(2), 1e-12) {
+		t.Errorf("equal-power sum = %v", got)
+	}
+	// The sum dominates over the larger term and is monotone in each input.
+	if got := PowerSumDBm(-60, -90); got < -60 || got > -59.9 {
+		t.Errorf("dominant-term sum = %v", got)
+	}
+	if PowerSumDBm(-60, -80) <= PowerSumDBm(-60, -90) {
+		t.Error("PowerSumDBm not monotone in second argument")
+	}
+}
+
+// TestDownlinkSINR pins the interference hook: no jammer reduces to the
+// plain SNR, and a jammer far above the noise floor turns the SINR into the
+// negative jammer-to-signal ratio.
+func TestDownlinkSINR(t *testing.T) {
+	link := DefaultLink()
+	const d = 3.0
+	if got, want := link.DownlinkSINRdB(d, math.Inf(-1)), link.DownlinkSNRdB(d); got != want {
+		t.Errorf("SINR without jammer = %v, want SNR %v", got, want)
+	}
+	// Jammer 30 dB above the detector noise floor: noise is negligible and
+	// SINR ≈ -JSR.
+	jam := link.DetectorNoiseFloorDBm + 30
+	sinr := link.DownlinkSINRdB(d, jam)
+	jsr := link.DownlinkJSRdB(d, jam)
+	if !approxEq(sinr, -jsr, 0.01) {
+		t.Errorf("strong-jammer SINR %v !≈ -JSR %v", sinr, -jsr)
+	}
+	if link.DownlinkSINRdB(d, jam) >= link.DownlinkSINRdB(d, jam-10) {
+		t.Error("SINR not monotone in jammer power")
+	}
+	// JSR grows with distance: the signal weakens, the jammer does not.
+	if link.DownlinkJSRdB(5, jam) <= link.DownlinkJSRdB(1, jam) {
+		t.Error("JSR must grow with distance")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"biscatter/internal/channel"
 	"biscatter/internal/cssk"
 	"biscatter/internal/delayline"
+	"biscatter/internal/fault"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/packet"
 	"biscatter/internal/parallel"
@@ -67,6 +68,11 @@ type Config struct {
 	Nodes []NodeConfig
 	// Clutter is the static environment; defaults to the office scene.
 	Clutter []channel.Reflector
+	// Faults is the impairment profile applied to the whole network —
+	// interference, chirp dropouts, moving clutter, per-tag front-end
+	// degradations. Nil (or a profile with every impairment disabled)
+	// leaves all results byte-identical to a fault-free network.
+	Faults *fault.Profile
 	// Seed seeds all stochastic components.
 	Seed int64
 	// TagSampleRate is the tag ADC rate; default 1 MHz.
@@ -142,6 +148,7 @@ type Network struct {
 	pool     *parallel.Pool
 	tel      coreTel
 	rec      telemetry.Recorder
+	radarInj *fault.RadarInjector
 }
 
 // NewNetwork builds a network from the configuration, then applies the
@@ -155,6 +162,9 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Nodes) == 0 {
 		return nil, ErrNoNodes
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	link := LinkFromPreset(cfg.Preset)
 
@@ -202,6 +212,7 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 		pool:     parallel.New(cfg.Workers).Instrument(cfg.Metrics),
 		tel:      newCoreTel(cfg.Metrics, len(cfg.Nodes)),
 		rec:      cfg.Recorder,
+		radarInj: fault.NewRadarInjector(cfg.Faults, cfg.Seed, cfg.Metrics),
 	}
 	chirpRate := 1 / cfg.Period
 	for i, nc := range cfg.Nodes {
@@ -245,6 +256,15 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d: %w", i, err)
 		}
+		// Per-node impairment injector. The jammer-to-signal ratio at this
+		// tag's detector input scales the injected tone against the node's
+		// own downlink signal, so nearer nodes see proportionally weaker
+		// relative interference.
+		jsr := 0.0
+		if f := cfg.Faults; f != nil && f.Interference != nil {
+			jsr = link.DownlinkJSRdB(nc.Range, f.Interference.TagPowerDBm)
+		}
+		tg.FrontEnd.Faults = fault.NewTagInjector(cfg.Faults, i, cfg.Seed, jsr, cfg.Metrics)
 		n.nodes = append(n.nodes, &Node{
 			Tag:   tg,
 			Range: nc.Range,

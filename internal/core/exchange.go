@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"biscatter/internal/channel"
 	"biscatter/internal/cssk"
 	"biscatter/internal/dsp"
 	"biscatter/internal/fmcw"
@@ -71,7 +72,15 @@ func (n *Network) BuildSensingFrame(chirps int) (*fmcw.Frame, error) {
 // plus every node's per-chirp switch states. uplinkBits maps node index →
 // bits; nodes without an entry modulate their localization beacon.
 func (n *Network) buildScene(frame *fmcw.Frame, uplinkBits map[int][]bool) (radar.Scene, error) {
-	scene := radar.Scene{Clutter: n.cfg.Clutter}
+	scene := radar.Scene{Clutter: n.cfg.Clutter, Faults: n.radarInj}
+	if f := n.cfg.Faults; f != nil && len(f.Clutter) > 0 {
+		// Fault-profile clutter (typically moving reflectors) rides on top of
+		// the static environment; copy so the config slices stay untouched.
+		merged := make([]channel.Reflector, 0, len(n.cfg.Clutter)+len(f.Clutter))
+		merged = append(merged, n.cfg.Clutter...)
+		merged = append(merged, f.Clutter...)
+		scene.Clutter = merged
+	}
 	for i, node := range n.nodes {
 		states, serr := node.Tag.UplinkStates(uplinkBits[i], n.cfg.Period, len(frame.Chirps))
 		if serr != nil {

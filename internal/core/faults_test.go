@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/fault"
+	"biscatter/internal/telemetry"
+)
+
+// faultTestConfig is a small two-node deployment that keeps the robustness
+// conformance runs fast while still exercising every parallel stage.
+func faultTestConfig(workers int, p *fault.Profile) Config {
+	return Config{
+		Nodes: []NodeConfig{
+			{ID: 1, Range: 1.8},
+			{ID: 2, Range: 3.1},
+		},
+		ChirpsPerBit: 32,
+		Seed:         21,
+		Workers:      workers,
+		Faults:       p,
+	}
+}
+
+func faultTestUplink() map[int][]bool {
+	return map[int][]bool{
+		0: {true, false},
+		1: {false, true},
+	}
+}
+
+// requireSameExchange compares two ExchangeResults field by field; label
+// names the pair in failures.
+func requireSameExchange(t *testing.T, label string, a, b *ExchangeResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Frame, b.Frame) {
+		t.Errorf("%s: frames differ", label)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("%s: node counts differ: %d vs %d", label, len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		x, y := a.Nodes[i], b.Nodes[i]
+		if !bytes.Equal(x.DownlinkPayload, y.DownlinkPayload) {
+			t.Errorf("%s: node %d: downlink payloads differ: %x vs %x", label, i, x.DownlinkPayload, y.DownlinkPayload)
+		}
+		if errString(x.DownlinkErr) != errString(y.DownlinkErr) {
+			t.Errorf("%s: node %d: downlink errors differ: %v vs %v", label, i, x.DownlinkErr, y.DownlinkErr)
+		}
+		if !reflect.DeepEqual(x.DownlinkDiag, y.DownlinkDiag) {
+			t.Errorf("%s: node %d: downlink diagnostics differ", label, i)
+		}
+		if x.Detection != y.Detection {
+			t.Errorf("%s: node %d: detections differ: %+v vs %+v", label, i, x.Detection, y.Detection)
+		}
+		if errString(x.DetectionErr) != errString(y.DetectionErr) {
+			t.Errorf("%s: node %d: detection errors differ: %v vs %v", label, i, x.DetectionErr, y.DetectionErr)
+		}
+		if !reflect.DeepEqual(x.UplinkBits, y.UplinkBits) {
+			t.Errorf("%s: node %d: uplink bits differ: %v vs %v", label, i, x.UplinkBits, y.UplinkBits)
+		}
+		if errString(x.UplinkErr) != errString(y.UplinkErr) {
+			t.Errorf("%s: node %d: uplink errors differ: %v vs %v", label, i, x.UplinkErr, y.UplinkErr)
+		}
+		if !reflect.DeepEqual(x.UplinkDiag, y.UplinkDiag) {
+			t.Errorf("%s: node %d: uplink diagnostics differ", label, i)
+		}
+	}
+}
+
+// TestFaultNeutrality is the all-faults-off conformance check: a nil
+// profile, an empty profile, and a profile whose every impairment is
+// configured at zero intensity must all yield results — and telemetry
+// counter snapshots — byte-identical to each other.
+func TestFaultNeutrality(t *testing.T) {
+	payload := RandomPayload(4, 6)
+	uplink := faultTestUplink()
+	run := func(p *fault.Profile) (*ExchangeResult, map[string]int64) {
+		m := telemetry.New()
+		cfg := faultTestConfig(0, p)
+		cfg.Metrics = m
+		n, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Exchange(payload, uplink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, m.Snapshot().Counters
+	}
+	base, baseCounters := run(nil)
+	for _, tc := range []struct {
+		name string
+		p    *fault.Profile
+	}{
+		{"empty profile", &fault.Profile{}},
+		{"zero-intensity profile", &fault.Profile{
+			Name:         "zero",
+			Interference: &fault.Interference{TagPowerDBm: -40, RadarPowerDBm: -70, DutyCycle: 0},
+			Dropout:      &fault.Dropout{Rate: 0},
+			Tag: &fault.TagFaults{
+				Drift:      &fault.OscillatorDrift{},
+				Saturation: &fault.Saturation{},
+				Desync:     &fault.Desync{},
+			},
+		}},
+	} {
+		res, counters := run(tc.p)
+		requireSameExchange(t, tc.name, base, res)
+		if !reflect.DeepEqual(baseCounters, counters) {
+			t.Errorf("%s: telemetry counters differ from fault-free run:\nbase: %v\ngot:  %v",
+				tc.name, baseCounters, counters)
+		}
+		for name := range counters {
+			if strings.HasPrefix(name, "fault.") {
+				t.Errorf("%s: fault counter %q registered on a neutral profile", tc.name, name)
+			}
+		}
+	}
+}
+
+// faultProfiles returns the impairment profiles the worker-invariance
+// conformance sweep runs under — each one exercises a different injector
+// path through the parallel pipeline.
+func faultProfiles() map[string]*fault.Profile {
+	return map[string]*fault.Profile{
+		"jammed": {
+			Name:         "jammed",
+			Seed:         101,
+			Interference: &fault.Interference{TagPowerDBm: -45, RadarPowerDBm: -75, DutyCycle: 0.5},
+		},
+		"dropout": {
+			Name:    "dropout",
+			Seed:    102,
+			Dropout: &fault.Dropout{Rate: 0.2},
+		},
+		"clipped-dropout": {
+			Name:    "clipped-dropout",
+			Seed:    103,
+			Dropout: &fault.Dropout{Rate: 0.3, ClipFraction: 0.4},
+		},
+		"mobile": {
+			Name: "mobile",
+			Seed: 104,
+			Clutter: []channel.Reflector{
+				{Range: 2.4, RCSdBsm: -2, Velocity: 1.1},
+				{Range: 5.0, RCSdBsm: 1, Velocity: -0.7},
+			},
+		},
+		"degraded-tag": {
+			Name: "degraded-tag",
+			Seed: 105,
+			Tag: &fault.TagFaults{
+				Drift:      &fault.OscillatorDrift{Offset: 0.002, Jitter: 0.001},
+				Saturation: &fault.Saturation{ClipLevel: 1.2, Bits: 8},
+				Desync:     &fault.Desync{MaxOffset: 0.4},
+			},
+		},
+		"everything": {
+			Name:         "everything",
+			Seed:         106,
+			Interference: &fault.Interference{TagPowerDBm: -45, RadarPowerDBm: -75, DutyCycle: 0.3},
+			Dropout:      &fault.Dropout{Rate: 0.1},
+			Clutter:      []channel.Reflector{{Range: 3.3, RCSdBsm: 0, Velocity: 0.9}},
+			Tag: &fault.TagFaults{
+				Drift:      &fault.OscillatorDrift{Offset: 0.001},
+				Saturation: &fault.Saturation{ClipLevel: 1.5},
+				Desync:     &fault.Desync{MaxOffset: 0.2},
+			},
+		},
+	}
+}
+
+// TestFaultWorkerInvariance extends the determinism contract to the
+// impairment layer: under every fault profile the exchange result must be
+// byte-identical at any worker count, because injection decisions are pure
+// functions of (seed, stream, chirp index), never of scheduling.
+func TestFaultWorkerInvariance(t *testing.T) {
+	payload := RandomPayload(4, 6)
+	uplink := faultTestUplink()
+	for name, p := range faultProfiles() {
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) *ExchangeResult {
+				n, err := NewNetwork(faultTestConfig(workers, p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := n.Exchange(payload, uplink)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			requireSameExchange(t, name, run(1), run(4))
+		})
+	}
+}
+
+// TestFaultTelemetryCounters checks the fault.injected.* observability
+// surface: an active profile lights up exactly the counters of its enabled
+// impairments, with plausible magnitudes.
+func TestFaultTelemetryCounters(t *testing.T) {
+	m := telemetry.New()
+	p := &fault.Profile{
+		Seed:         55,
+		Interference: &fault.Interference{TagPowerDBm: -45, RadarPowerDBm: -75, DutyCycle: 0.5},
+		Dropout:      &fault.Dropout{Rate: 0.25},
+		Tag: &fault.TagFaults{
+			Drift:      &fault.OscillatorDrift{Offset: 0.001, Jitter: 0.0005},
+			Saturation: &fault.Saturation{ClipLevel: 0.8},
+			Desync:     &fault.Desync{MaxOffset: 0.3},
+		},
+	}
+	cfg := faultTestConfig(0, p)
+	cfg.Metrics = m
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Exchange(RandomPayload(4, 6), faultTestUplink()); err != nil {
+		t.Fatal(err)
+	}
+	counters := m.Snapshot().Counters
+	for _, name := range []string{
+		fault.CounterTagJammed,
+		fault.CounterTagDropped,
+		fault.CounterTagDrift,
+		fault.CounterTagDesync,
+		fault.CounterRadarJammed,
+		fault.CounterRadarDropped,
+	} {
+		if counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want positive", name, counters[name])
+		}
+	}
+	// Both nodes saw the same frame, so tag-side jam/drop totals are twice
+	// the radar-side ones.
+	if counters[fault.CounterTagJammed] != 2*counters[fault.CounterRadarJammed] {
+		t.Errorf("tag jammed %d != 2× radar jammed %d",
+			counters[fault.CounterTagJammed], counters[fault.CounterRadarJammed])
+	}
+	if counters[fault.CounterTagDropped] != 2*counters[fault.CounterRadarDropped] {
+		t.Errorf("tag dropped %d != 2× radar dropped %d",
+			counters[fault.CounterTagDropped], counters[fault.CounterRadarDropped])
+	}
+	if counters[fault.CounterTagDesync] != 2 {
+		t.Errorf("desync frames = %d, want 2 (one capture per node)", counters[fault.CounterTagDesync])
+	}
+}

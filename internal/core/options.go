@@ -2,6 +2,7 @@ package core
 
 import (
 	"biscatter/internal/channel"
+	"biscatter/internal/fault"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/telemetry"
 )
@@ -40,6 +41,16 @@ func WithSeed(seed int64) Option {
 // the Config.
 func WithNodes(nodes ...NodeConfig) Option {
 	return func(c *Config) { c.Nodes = nodes }
+}
+
+// WithFaults applies an impairment profile to the whole network: burst
+// in-band interference, chirp dropouts, moving clutter, and per-tag
+// front-end degradations (oscillator drift, ADC saturation, desync). Nil —
+// or a profile with every impairment disabled — leaves all exchange results
+// and telemetry byte-identical to a fault-free network; see the fault
+// package for the determinism contract.
+func WithFaults(p *fault.Profile) Option {
+	return func(c *Config) { c.Faults = p }
 }
 
 // WithMetrics attaches a telemetry registry: per-stage latency histograms,

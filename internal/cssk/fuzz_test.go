@@ -1,0 +1,102 @@
+package cssk
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCSSKDemod drives the demodulation decision layer with arbitrary
+// inputs: ClassifyBeat must map every float64 (including NaN and the
+// infinities) onto a constellation member without panicking, and the
+// bit-packing layer must round-trip arbitrary bit strings at every symbol
+// size.
+func FuzzCSSKDemod(f *testing.F) {
+	a, err := NewAlphabet(Config{
+		Bandwidth:        1e9,
+		Period:           120e-6,
+		MinChirpDuration: 20e-6,
+		DeltaT:           1.9e-9,
+		MinBeatSpacing:   500,
+		SymbolBits:       5,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	beats := a.Beats()
+	member := make(map[float64]bool, len(beats))
+	for _, b := range beats {
+		member[b] = true
+	}
+
+	seed := func(beat float64, sb byte, bits []byte) []byte {
+		out := make([]byte, 9, 9+len(bits))
+		binary.LittleEndian.PutUint64(out, math.Float64bits(beat))
+		out[8] = sb
+		return append(out, bits...)
+	}
+	f.Add(seed(beats[0], 5, []byte("hello")))
+	f.Add(seed(beats[len(beats)-1]+1e6, 1, nil))
+	f.Add(seed(math.NaN(), 16, []byte{0xFF, 0x00}))
+	f.Add(seed(math.Inf(1), 7, []byte{1, 2, 3}))
+	f.Add(seed(-12345.6, 3, []byte{0xAA}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var beat float64
+		symbolBits := 5
+		var raw []byte
+		if len(data) >= 9 {
+			beat = math.Float64frombits(binary.LittleEndian.Uint64(data))
+			symbolBits = int(data[8]%16) + 1
+			raw = data[9:]
+		}
+
+		s := a.ClassifyBeat(beat)
+		if !member[s.Beat] {
+			t.Fatalf("ClassifyBeat(%v) returned a beat outside the constellation: %v", beat, s.Beat)
+		}
+		switch s.Kind {
+		case KindData:
+			v, err := a.ValueForSymbol(s)
+			if err != nil {
+				t.Fatalf("classified data symbol does not map to a value: %v", err)
+			}
+			rt, err := a.SymbolForValue(v)
+			if err != nil || rt.Index != s.Index {
+				t.Fatalf("SymbolForValue(ValueForSymbol) mismatch: %v %v", rt, err)
+			}
+		case KindHeader, KindSync:
+			// Control symbols carry no data; nothing further to check.
+		default:
+			t.Fatalf("ClassifyBeat returned invalid kind %v", s.Kind)
+		}
+
+		// The bit-packing layer must round-trip at any symbol size.
+		bits := BytesToBits(raw)
+		values := PackBits(bits, symbolBits)
+		back := UnpackBits(values, symbolBits, len(bits))
+		if len(back) != len(bits) {
+			t.Fatalf("unpack length %d != %d", len(back), len(bits))
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				t.Fatalf("bit %d flipped through pack/unpack at %d bits/symbol", i, symbolBits)
+			}
+		}
+		round := BitsToBytes(back)
+		for i := range raw {
+			if round[i] != raw[i] {
+				t.Fatalf("byte %d corrupted through bits round trip", i)
+			}
+		}
+
+		// Gray coding must be a bijection on the value domain.
+		if len(raw) >= 4 {
+			v := binary.LittleEndian.Uint32(raw)
+			if GrayDecode(GrayEncode(v)) != v {
+				t.Fatalf("gray round trip failed for %d", v)
+			}
+		}
+	})
+}

@@ -69,6 +69,7 @@ var Registry = []struct {
 	{"fig17", Fig17},
 	{"ablation", Ablations},
 	{"ext", Extensions},
+	{"scenarios", Scenarios},
 }
 
 // Lookup finds an experiment by ID.

@@ -220,7 +220,10 @@ func (c *BERCounter) Wilson() (lo, hi float64) {
 	}
 	const z = 1.96
 	n := float64(c.Total)
-	p := c.Rate()
+	// Clamp the point estimate into [0, 1]: CountBitErrors can report more
+	// errors than sent bits when a decode returns extra bytes, and a rate
+	// above 1 would drive the sqrt argument negative (NaN bounds).
+	p := math.Min(1, math.Max(0, c.Rate()))
 	den := 1 + z*z/n
 	center := (p + z*z/(2*n)) / den
 	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / den

@@ -108,6 +108,36 @@ func TestWilsonShrinksWithSamples(t *testing.T) {
 	}
 }
 
+func TestWilsonEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		c    BERCounter
+	}{
+		{"zero total", BERCounter{}},
+		{"all errors", BERCounter{Errors: 50, Total: 50}},
+		// CountBitErrors scores extra decoded bytes as errors, so a counter
+		// can legitimately hold more errors than sent bits; the interval
+		// must clamp instead of going NaN.
+		{"errors exceed total", BERCounter{Errors: 80, Total: 50}},
+	}
+	for _, tc := range cases {
+		lo, hi := tc.c.Wilson()
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Errorf("%s: Wilson() = (%v, %v), want finite bounds", tc.name, lo, hi)
+			continue
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("%s: Wilson() = (%v, %v), want 0 <= lo <= hi <= 1", tc.name, lo, hi)
+		}
+	}
+	if lo, hi := (&BERCounter{}).Wilson(); lo != 0 || hi != 1 {
+		t.Errorf("zero-total interval = (%v, %v), want the vacuous (0, 1)", lo, hi)
+	}
+	if _, hi := (&BERCounter{Errors: 50, Total: 50}).Wilson(); hi != 1 {
+		t.Errorf("all-errors upper bound = %v, want 1", hi)
+	}
+}
+
 func TestParallelMapOrderAndCompleteness(t *testing.T) {
 	var calls int64
 	out := ParallelMap(100, func(i int) int {

@@ -1,0 +1,310 @@
+package eval
+
+import (
+	"fmt"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/core"
+	"biscatter/internal/fault"
+)
+
+// Scenario is one named robustness condition: a two-node deployment plus
+// the impairment profile degrading it. The named set spans the operating
+// conditions the paper's evaluation visits qualitatively — clean lab,
+// multipath-rich office, co-channel interference, moving people, cheap tag
+// hardware — as reproducible configurations the conformance suite can pin.
+type Scenario struct {
+	// Name identifies the scenario ("clean", "office", ...).
+	Name string
+	// Description says what real-world condition it models.
+	Description string
+	// Profile is the impairment set; nil means fault-free.
+	Profile *fault.Profile
+	// Clutter overrides the static environment: nil selects the office
+	// default, an empty non-nil slice a clutter-free scene.
+	Clutter []channel.Reflector
+	// Nodes places the deployment; nil selects the standard two-node layout.
+	Nodes []core.NodeConfig
+}
+
+// scenarioNodes is the standard deployment every named scenario shares, so
+// cross-scenario numbers differ only by impairment.
+func scenarioNodes() []core.NodeConfig {
+	return []core.NodeConfig{
+		{ID: 1, Range: 1.8},
+		{ID: 2, Range: 3.4},
+	}
+}
+
+// scenarioSeed fixes the profiles' injector seed so sweeps that vary one
+// intensity knob keep every other draw (gate alignment, dropout pattern)
+// identical — the superset property monotone checks rely on.
+const scenarioSeed = 2024
+
+// JammedScenario is the interference scenario at a configurable duty cycle;
+// duty 0 is exactly the clean path (the injector disables itself).
+func JammedScenario(duty float64) Scenario {
+	return Scenario{
+		Name:        "jammed",
+		Description: fmt.Sprintf("in-band burst jammer at %.0f%% duty", duty*100),
+		Profile: &fault.Profile{
+			Name: "jammed",
+			Seed: scenarioSeed,
+			// -55 dBm at the tags sits a few dB under the received downlink
+			// power, so BER grows gradually with duty instead of saturating;
+			// -72 dBm at the radar is enough to flip occasional uplink bits.
+			Interference: &fault.Interference{
+				TagPowerDBm:   -55,
+				RadarPowerDBm: -72,
+				DutyCycle:     duty,
+			},
+		},
+	}
+}
+
+// DropoutScenario is the lossy-transmitter scenario at a configurable
+// per-chirp drop rate.
+func DropoutScenario(rate float64) Scenario {
+	return Scenario{
+		Name:        "dropout",
+		Description: fmt.Sprintf("%.0f%% chirp dropout", rate*100),
+		Profile: &fault.Profile{
+			Name:    "dropout",
+			Seed:    scenarioSeed,
+			Dropout: &fault.Dropout{Rate: rate},
+		},
+	}
+}
+
+// NamedScenarios returns the robustness conformance set.
+func NamedScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "clean",
+			Description: "free-space lab: no clutter, no impairments",
+			Clutter:     []channel.Reflector{},
+		},
+		{
+			Name:        "office",
+			Description: "static office multipath (the paper's deployment)",
+		},
+		JammedScenario(0.5),
+		{
+			Name:        "mobile",
+			Description: "office plus moving people crossing the scene",
+			Profile: &fault.Profile{
+				Name: "mobile",
+				Seed: scenarioSeed,
+				Clutter: []channel.Reflector{
+					{Range: 2.6, RCSdBsm: -2, Velocity: 1.2},
+					{Range: 4.8, RCSdBsm: -4, Velocity: -0.8},
+				},
+			},
+		},
+		{
+			Name:        "degraded-tag",
+			Description: "cheap tag hardware: oscillator drift, 8-bit saturating ADC, wake-up desync",
+			Profile: &fault.Profile{
+				Name: "degraded-tag",
+				Seed: scenarioSeed,
+				Tag: &fault.TagFaults{
+					Drift:      &fault.OscillatorDrift{Offset: 0.003, Jitter: 0.002},
+					Saturation: &fault.Saturation{ClipLevel: 1.2, Bits: 8},
+					Desync:     &fault.Desync{MaxOffset: 0.4},
+				},
+			},
+		},
+	}
+}
+
+// ScenarioStats aggregates one scenario run.
+type ScenarioStats struct {
+	// Downlink and Uplink accumulate bit errors across rounds and nodes.
+	Downlink, Uplink BERCounter
+	// DetectAttempts and DetectHits count localization outcomes.
+	DetectAttempts, DetectHits int
+}
+
+// DetectionRate returns the fraction of successful localizations.
+func (s ScenarioStats) DetectionRate() float64 {
+	if s.DetectAttempts == 0 {
+		return 0
+	}
+	return float64(s.DetectHits) / float64(s.DetectAttempts)
+}
+
+// scenarioUplink derives each node's uplink bits from the round payload, so
+// every round exercises different bit patterns deterministically.
+func scenarioUplink(payload []byte, nodes int) map[int][]bool {
+	out := make(map[int][]bool, nodes)
+	for i := 0; i < nodes; i++ {
+		b := payload[i%len(payload)]
+		bits := make([]bool, 4)
+		for k := range bits {
+			bits[k] = (b>>uint(k))&1 == 1
+		}
+		out[i] = bits
+	}
+	return out
+}
+
+// RunScenario builds the scenario's network and runs the given number of
+// exchange rounds, accumulating BER and detection statistics. Results are
+// deterministic in (scenario, rounds, o.Seed) for any worker count.
+func RunScenario(sc Scenario, rounds int, o Options) (ScenarioStats, error) {
+	o = o.withDefaults()
+	nodes := sc.Nodes
+	if nodes == nil {
+		nodes = scenarioNodes()
+	}
+	net, err := core.NewNetwork(core.Config{
+		Nodes:        nodes,
+		Clutter:      sc.Clutter,
+		Faults:       sc.Profile,
+		ChirpsPerBit: 32,
+		Seed:         o.Seed + 1,
+		Workers:      o.Workers,
+		Metrics:      o.Metrics,
+	})
+	if err != nil {
+		return ScenarioStats{}, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	var st ScenarioStats
+	for r := 0; r < rounds; r++ {
+		payload := core.RandomPayload(o.Seed+int64(r)*7919+3, 8)
+		uplink := scenarioUplink(payload, len(nodes))
+		res, err := net.Exchange(payload, uplink)
+		if err != nil {
+			return st, fmt.Errorf("scenario %s round %d: %w", sc.Name, r, err)
+		}
+		for i, nr := range res.Nodes {
+			e, t := core.CountBitErrors(payload, nr.DownlinkPayload)
+			st.Downlink.Add(e, t)
+			st.DetectAttempts++
+			if nr.DetectionErr == nil {
+				st.DetectHits++
+			}
+			st.Uplink.Add(bitMismatches(uplink[i], nr.UplinkBits), len(uplink[i]))
+		}
+	}
+	return st, nil
+}
+
+// bitMismatches scores decoded uplink bits against the sent ground truth; a
+// sent bit missing from got counts as an error.
+func bitMismatches(sent, got []bool) int {
+	errs := 0
+	for i, b := range sent {
+		if i >= len(got) || got[i] != b {
+			errs++
+		}
+	}
+	return errs
+}
+
+// InterferenceDutySweep runs the jammed scenario across duty cycles with a
+// fixed profile seed and returns the downlink BER counter per duty. Because
+// a larger duty jams a strict superset of the chirps jammed at a smaller
+// one (same seed, same gate alignment) while the underlying noise draws are
+// untouched, the returned BER is expected to be monotone non-decreasing —
+// the property the robustness conformance suite pins.
+func InterferenceDutySweep(duties []float64, rounds int, o Options) ([]BERCounter, error) {
+	out := make([]BERCounter, len(duties))
+	for di, duty := range duties {
+		st, err := RunScenario(JammedScenario(duty), rounds, o)
+		if err != nil {
+			return nil, err
+		}
+		out[di] = st.Downlink
+	}
+	return out, nil
+}
+
+// DropoutSweep runs the dropout scenario across per-chirp drop rates with a
+// fixed profile seed and returns the full stats per rate, so callers can
+// check how long localization survives missing chirps.
+func DropoutSweep(rates []float64, rounds int, o Options) ([]ScenarioStats, error) {
+	out := make([]ScenarioStats, len(rates))
+	for ri, rate := range rates {
+		st, err := RunScenario(DropoutScenario(rate), rounds, o)
+		if err != nil {
+			return nil, err
+		}
+		out[ri] = st
+	}
+	return out, nil
+}
+
+// Scenarios is the robustness experiment: every named scenario's BER and
+// detection rate, plus the interference-duty and chirp-dropout intensity
+// sweeps.
+func Scenarios(o Options) (*Result, error) {
+	o = o.withDefaults()
+	rounds := o.Trials
+
+	scs := NamedScenarios()
+	type row struct {
+		st  ScenarioStats
+		err error
+	}
+	rows := ParallelMapN(o.Workers, len(scs), func(i int) row {
+		// Scenarios already saturate the pool; each network runs
+		// single-worker (results are identical either way).
+		so := o
+		so.Workers = 1
+		st, err := RunScenario(scs[i], rounds, so)
+		return row{st, err}
+	})
+	tbl := Table{
+		Title:   fmt.Sprintf("Robustness — named fault scenarios (%d rounds, 2 nodes)", rounds),
+		Columns: []string{"scenario", "downlink BER", "uplink BER", "detection rate", "condition"},
+	}
+	for i, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		tbl.AddRow(scs[i].Name,
+			FormatBER(&r.st.Downlink),
+			FormatBER(&r.st.Uplink),
+			fmt.Sprintf("%.0f%%", 100*r.st.DetectionRate()),
+			scs[i].Description)
+	}
+
+	duties := []float64{0, 0.25, 0.5, 0.75, 1}
+	dutyBER, err := InterferenceDutySweep(duties, rounds, o)
+	if err != nil {
+		return nil, err
+	}
+	tbl2 := Table{
+		Title:   "Robustness — downlink BER vs interference duty cycle (fixed jammer seed)",
+		Columns: []string{"duty cycle", "downlink BER"},
+	}
+	for i, d := range duties {
+		tbl2.AddRow(fmt.Sprintf("%.0f%%", d*100), FormatBER(&dutyBER[i]))
+	}
+
+	rates := []float64{0, 0.1, 0.2, 0.3}
+	dropStats, err := DropoutSweep(rates, rounds, o)
+	if err != nil {
+		return nil, err
+	}
+	tbl3 := Table{
+		Title:   "Robustness — detection rate vs chirp dropout (fixed dropout seed)",
+		Columns: []string{"dropout rate", "detection rate", "downlink BER"},
+	}
+	for i, r := range rates {
+		tbl3.AddRow(fmt.Sprintf("%.0f%%", r*100),
+			fmt.Sprintf("%.0f%%", 100*dropStats[i].DetectionRate()),
+			FormatBER(&dropStats[i].Downlink))
+	}
+
+	res := &Result{
+		ID:          "scenarios",
+		Description: "robustness under seeded impairments: interference, dropouts, mobility, degraded tags",
+		Tables:      []Table{tbl, tbl2, tbl3},
+	}
+	res.Notes = append(res.Notes,
+		"every impairment is a deterministic seeded injector; the all-faults-off path is byte-identical to a fault-free network (see the fault package)",
+		"BER grows monotonically with interference duty because a larger duty jams a strict superset of chirps at a fixed seed")
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"biscatter/internal/fault"
+)
+
+// scenarioTestOptions keeps the conformance runs fast and reproducible.
+func scenarioTestOptions(workers int) Options {
+	return Options{Seed: 7, Workers: workers}
+}
+
+// TestNamedScenariosWellFormed pins the structure of the conformance set:
+// five distinct scenarios whose profiles all validate, anchored by an
+// explicitly clutter-free "clean" baseline.
+func TestNamedScenariosWellFormed(t *testing.T) {
+	scs := NamedScenarios()
+	want := []string{"clean", "office", "jammed", "mobile", "degraded-tag"}
+	if len(scs) != len(want) {
+		t.Fatalf("got %d scenarios, want %d", len(scs), len(want))
+	}
+	for i, sc := range scs {
+		if sc.Name != want[i] {
+			t.Errorf("scenario %d named %q, want %q", i, sc.Name, want[i])
+		}
+		if err := sc.Profile.Validate(); err != nil {
+			t.Errorf("scenario %s: profile invalid: %v", sc.Name, err)
+		}
+		if sc.Description == "" {
+			t.Errorf("scenario %s: missing description", sc.Name)
+		}
+	}
+	if scs[0].Clutter == nil || len(scs[0].Clutter) != 0 {
+		t.Errorf("clean scenario must carry an explicit empty clutter slice, got %v", scs[0].Clutter)
+	}
+	if scs[0].Profile != nil || scs[1].Profile != nil {
+		t.Error("clean and office scenarios must be fault-free")
+	}
+}
+
+// TestInterferenceDutyMonotoneBER is the headline robustness conformance
+// check: with a fixed jammer seed, downlink BER is monotone non-decreasing
+// in the interference duty cycle, zero-duty is bit-identical to the
+// fault-free office baseline, and full duty strictly degrades it.
+func TestInterferenceDutyMonotoneBER(t *testing.T) {
+	const rounds = 3
+	o := scenarioTestOptions(0)
+	duties := []float64{0, 0.25, 0.5, 1}
+	ber, err := InterferenceDutySweep(duties, rounds, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	office := Scenario{Name: "office"}
+	base, err := RunScenario(office, rounds, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber[0] != base.Downlink {
+		t.Errorf("duty 0 BER %d/%d differs from fault-free baseline %d/%d",
+			ber[0].Errors, ber[0].Total, base.Downlink.Errors, base.Downlink.Total)
+	}
+	for i := 1; i < len(ber); i++ {
+		if ber[i].Total != ber[0].Total {
+			t.Fatalf("duty %.2f counted %d bits, duty %.2f counted %d — sweeps must score the same traffic",
+				duties[i], ber[i].Total, duties[0], ber[0].Total)
+		}
+		if ber[i].Errors < ber[i-1].Errors {
+			t.Errorf("BER not monotone: duty %.2f has %d errors < %d at duty %.2f",
+				duties[i], ber[i].Errors, ber[i-1].Errors, duties[i-1])
+		}
+	}
+	last := ber[len(ber)-1]
+	if last.Errors <= ber[0].Errors {
+		t.Errorf("full-duty jamming did not degrade BER: %d errors vs %d at duty 0",
+			last.Errors, ber[0].Errors)
+	}
+}
+
+// TestDropoutDetectionTolerance pins the sensing robustness floor: tag
+// localization must survive 10% chirp dropout with a 100% detection rate,
+// because slow-time integration spans far more chirps than are lost.
+func TestDropoutDetectionTolerance(t *testing.T) {
+	const rounds = 3
+	rates := []float64{0, 0.1}
+	stats, err := DropoutSweep(rates, rounds, scenarioTestOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := stats[0].DetectionRate(); r != 1 {
+		t.Errorf("clean detection rate = %.2f, want 1.0", r)
+	}
+	if stats[0].Downlink.Errors != 0 {
+		t.Errorf("zero-rate dropout produced %d downlink bit errors", stats[0].Downlink.Errors)
+	}
+	if r := stats[1].DetectionRate(); r != 1 {
+		t.Errorf("detection rate under 10%% dropout = %.2f, want 1.0", r)
+	}
+}
+
+// TestScenarioWorkerInvariance extends the byte-identical determinism
+// contract to the scenario harness: the aggregated stats of a fault-heavy
+// run must be equal at any worker count.
+func TestScenarioWorkerInvariance(t *testing.T) {
+	sc := Scenario{
+		Name:        "everything",
+		Description: "all impairments at once",
+		Profile: &fault.Profile{
+			Name:         "everything",
+			Seed:         scenarioSeed,
+			Interference: &fault.Interference{TagPowerDBm: -55, RadarPowerDBm: -72, DutyCycle: 0.4},
+			Dropout:      &fault.Dropout{Rate: 0.1, ClipFraction: 0.3},
+			Tag: &fault.TagFaults{
+				Drift:      &fault.OscillatorDrift{Offset: 0.002, Jitter: 0.001},
+				Saturation: &fault.Saturation{ClipLevel: 1.3, Bits: 10},
+				Desync:     &fault.Desync{MaxOffset: 0.3},
+			},
+		},
+	}
+	run := func(workers int) ScenarioStats {
+		st, err := RunScenario(sc, 2, scenarioTestOptions(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(1), run(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("scenario stats differ across worker counts:\n1 worker:  %+v\n4 workers: %+v", a, b)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"biscatter/internal/channel"
 	"biscatter/internal/dsp"
+	"biscatter/internal/fault"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/parallel"
 	"biscatter/internal/telemetry"
@@ -193,6 +194,10 @@ type Scene struct {
 	Clutter []channel.Reflector
 	// Tags are the modulating backscatter nodes.
 	Tags []TagEcho
+	// Faults injects deterministic impairments (chirp dropouts, in-band
+	// interference) into the IF capture; nil — the default — leaves the
+	// synthesis byte-identical to a fault-free observation.
+	Faults *fault.RadarInjector
 }
 
 // Capture is the raw dechirped IF data for one frame: one complex sample
@@ -266,6 +271,9 @@ func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Sce
 		n := c.Params.SamplesPerChirp()
 		buf := make([]complex128, n)
 		chirpStart := float64(i) * frame.Period
+		// A TX dropout silences the echo (entirely, or beyond a clipped
+		// prefix) while the receiver noise below stays untouched.
+		keep := scene.Faults.EchoSamples(i, n)
 		for _, sc := range scats {
 			amp := sc.amp
 			if sc.tag >= 0 {
@@ -280,7 +288,7 @@ func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Sce
 			fIF := c.Params.IFFrequency(rng)
 			dphi := 2 * math.Pi * fIF / fs
 			ph := geomPhase(rng, r.cfg.Chirp.StartFrequency)
-			for k := 0; k < n; k++ {
+			for k := 0; k < keep; k++ {
 				buf[k] += complex(amp*math.Cos(ph), amp*math.Sin(ph))
 				ph += dphi
 			}
@@ -290,6 +298,7 @@ func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Sce
 				buf[k] += nb[k]
 			}
 		}
+		scene.Faults.Jam(buf, i)
 		cap.IF[i] = buf
 		return nil
 	})

@@ -11,6 +11,7 @@ import (
 
 	"biscatter/internal/channel"
 	"biscatter/internal/delayline"
+	"biscatter/internal/fault"
 	"biscatter/internal/fmcw"
 )
 
@@ -39,6 +40,10 @@ type FrontEnd struct {
 	// the radar's chirp-generator clock (§5.3 attributes the 24 GHz
 	// platform's slight edge to its higher-quality clock). Zero disables.
 	SlopeJitter float64
+	// Faults injects deterministic impairments (interference, dropouts,
+	// oscillator drift, desync, ADC saturation) into the capture; nil — the
+	// default — leaves the synthesis byte-identical to a fault-free chain.
+	Faults *fault.TagInjector
 
 	noise *channel.Noise
 }
@@ -72,6 +77,7 @@ func (fe *FrontEnd) Capture(frame *fmcw.Frame, snrDB, startOffset, extraTail flo
 	if startOffset < 0 {
 		startOffset = 0
 	}
+	startOffset += fe.Faults.StartJitter(frame.Period)
 	total := frame.Duration() - startOffset + extraTail
 	if total < 0 {
 		total = 0
@@ -90,18 +96,30 @@ func (fe *FrontEnd) Capture(frame *fmcw.Frame, snrDB, startOffset, extraTail flo
 		if chirpEnd <= 0 {
 			continue
 		}
+		// The phase draw happens before any fault decision so the front-end
+		// noise stream stays identical whether impairments fire or not: an
+		// intensity sweep varies only the injected fault, never the noise.
 		phase := fe.noise.Rand().Float64() * 2 * math.Pi
 		i0 := int(math.Ceil(math.Max(chirpStart, 0) * fe.SampleRate))
 		i1 := int(chirpEnd * fe.SampleRate)
 		if i1 > n {
 			i1 = n
 		}
+		if dropped, clip := fe.Faults.DropState(c.Index); dropped {
+			// TX dropout: only a leading fraction (possibly none) of the
+			// chirp reaches the tag.
+			i1 = i0 + int(clip*float64(i1-i0))
+		} else {
+			beat *= fe.Faults.BeatScale(c.Index, math.Max(chirpStart, 0))
+		}
 		for i := i0; i < i1; i++ {
 			t := float64(i)/fe.SampleRate - chirpStart
 			out[i] = fe.Amplitude * math.Cos(2*math.Pi*beat*t+phase)
 		}
+		fe.Faults.Jam(out, c.Index, chirpStart, frame.Period, fe.SampleRate, fe.Amplitude)
 	}
 	fe.noise.AddReal(out, sigma)
+	fe.Faults.PostADC(out, fe.Amplitude)
 	return out
 }
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the full test suite with statement coverage measured across all
+# internal packages and fails if the merged total drops below the floor.
+# The floor trails the measured baseline (~89% as of the robustness PR) far
+# enough to absorb noise from new code, but close enough to catch a PR that
+# ships an untested subsystem. Usage:
+#
+#   scripts/check_coverage.sh [floor_percent]    # default 85
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor="${1:-85}"
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" -coverpkg=./internal/... ./... >/dev/null
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%$/, "", $NF); print $NF}')"
+if [ -z "$total" ]; then
+  echo "check_coverage.sh: could not parse total coverage" >&2
+  exit 1
+fi
+
+echo "coverage: ${total}% of statements in ./internal/... (floor ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t >= f) }' || {
+  echo "check_coverage.sh: coverage ${total}% is below the ${floor}% floor" >&2
+  exit 1
+}
