@@ -30,6 +30,16 @@
 //	)
 //	res, err := net.ExchangeContext(ctx, payload, bits)
 //
+// Above single exchanges sits reliable delivery. DeliverReliableContext
+// retries a payload under a configurable ARQ policy — attempt budget,
+// majority-vote ACK redundancy, exponential backoff with deterministic
+// jitter — and returns a per-attempt DeliveryReport. NewLinkController
+// wraps it with adaptive graceful degradation over a LinkMode ladder:
+// as deliveries fail it raises FEC strength (WithFEC), widens chirp-slope
+// spacing and lengthens preambles (WithPreamble), and when even the
+// survival mode fails it opens a per-node circuit breaker that fails fast
+// (ErrNodeQuarantined) between half-open probes.
+//
 // The exchange engine fans its per-chirp, per-node and per-bin work across
 // a worker pool sized by WithWorkers (GOMAXPROCS by default). All
 // randomness is seeded and every parallel stage writes results by index,
@@ -58,6 +68,7 @@ import (
 	"biscatter/internal/core"
 	"biscatter/internal/cssk"
 	"biscatter/internal/fault"
+	"biscatter/internal/fec"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
@@ -143,6 +154,45 @@ type (
 	Option = core.Option
 	// ExchangeOption customizes a single Exchange round; see WithMinChirps.
 	ExchangeOption = core.ExchangeOption
+	// FECConfig selects and parameterizes downlink forward error correction;
+	// apply it with WithFEC or as part of a LinkMode.
+	FECConfig = fec.Config
+	// FECScheme identifies a forward-error-correction code.
+	FECScheme = fec.Scheme
+	// FECStats reports one decode's coded-bit volume and corrected bits.
+	FECStats = fec.Stats
+	// DeliverOptions tunes the context-aware ARQ engine behind
+	// Network.DeliverReliableContext: attempt budget, ACK redundancy and
+	// backoff schedule.
+	DeliverOptions = core.DeliverOptions
+	// DeliveryReport is the full diagnostic record of one reliable delivery.
+	DeliveryReport = core.DeliveryReport
+	// AttemptReport is one ARQ attempt's entry in a DeliveryReport.
+	AttemptReport = core.AttemptReport
+	// LinkMode is one rung of the graceful-degradation ladder: a named
+	// bundle of symbol width, FEC, preamble length and ACK redundancy.
+	LinkMode = core.LinkMode
+	// ControllerConfig assembles a LinkController.
+	ControllerConfig = core.ControllerConfig
+	// LinkController delivers payloads while adapting the link down (and
+	// back up) a LinkMode ladder from per-delivery diagnostics, with a
+	// per-node circuit breaker at the bottom rung.
+	LinkController = core.LinkController
+	// BreakerState is a node's circuit-breaker state inside a
+	// LinkController.
+	BreakerState = core.BreakerState
+)
+
+// Forward-error-correction schemes for FECConfig.
+const (
+	// FECNone disables coding; frames are byte-identical to the uncoded
+	// pipeline.
+	FECNone = fec.SchemeNone
+	// FECHamming74 applies Hamming(7,4) single-error-correcting code.
+	FECHamming74 = fec.SchemeHamming74
+	// FECRepetition repeats every bit an odd number of times and decodes by
+	// majority vote.
+	FECRepetition = fec.SchemeRepetition
 )
 
 // Sentinel errors, for errors.Is branching.
@@ -156,6 +206,9 @@ var (
 	// ErrTagNotFound is carried in a NodeResult when no range bin held the
 	// node's modulation signature above the detection threshold.
 	ErrTagNotFound = radar.ErrTagNotFound
+	// ErrNodeQuarantined is returned by LinkController.Deliver while a
+	// node's circuit breaker is open and not yet due for a probe.
+	ErrNodeQuarantined = core.ErrNodeQuarantined
 )
 
 // NewNetwork builds a network from the configuration, then applies the
@@ -205,6 +258,34 @@ func NewMetrics() *Metrics { return telemetry.New() }
 // WithMinChirps pads a single exchange's downlink frame to at least n
 // chirps for extra slow-time integration gain.
 func WithMinChirps(n int) ExchangeOption { return core.WithMinChirps(n) }
+
+// WithFEC applies forward error correction to every downlink frame. The
+// zero FECConfig (FECNone) leaves frames byte-identical to the uncoded
+// pipeline.
+func WithFEC(c FECConfig) Option { return core.WithFEC(c) }
+
+// WithPreamble sizes the downlink frame preamble: headerChirps of carrier
+// header and syncChirps of sync symbols. Longer preambles buy
+// synchronization margin under interference at an airtime cost.
+func WithPreamble(headerChirps, syncChirps int) Option {
+	return core.WithPreamble(headerChirps, syncChirps)
+}
+
+// WithLinkMode applies one rung of a degradation ladder — symbol width,
+// FEC, preamble and ACK redundancy together — to the network.
+func WithLinkMode(m LinkMode) Option { return core.WithLinkMode(m) }
+
+// DefaultModeLadder returns the built-in graceful-degradation ladder, from
+// the full-rate nominal mode down to the survival mode, for
+// ControllerConfig and WithLinkMode.
+func DefaultModeLadder() []LinkMode { return core.DefaultModeLadder() }
+
+// NewLinkController builds the adaptive delivery engine: reliable delivery
+// over the mode ladder with per-node circuit breaking. See
+// LinkController.Deliver.
+func NewLinkController(cfg ControllerConfig) (*LinkController, error) {
+	return core.NewLinkController(cfg)
+}
 
 // Radar9GHz returns the paper's sub-10 GHz platform preset (1 GHz
 // bandwidth).

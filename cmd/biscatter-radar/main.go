@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"biscatter/internal/core"
+	"biscatter/internal/fec"
 	"biscatter/internal/netio"
 	"biscatter/internal/radar"
 	"biscatter/internal/telemetry"
@@ -31,25 +32,31 @@ func main() {
 	tagRange := flag.Float64("range", 2.6, "simulated radar–tag distance in meters")
 	payload := flag.String("payload", "hello tag", "downlink payload")
 	bits := flag.Int("bits", 5, "CSSK symbol size (must match the tag)")
+	fecName := flag.String("fec", "none", "downlink FEC scheme: none, hamming or repetition (must match the tag)")
 	rounds := flag.Int("rounds", 3, "number of exchange rounds")
 	seed := flag.Int64("seed", 3, "noise seed")
 	debugAddr := flag.String("debug-addr", "", "serve live telemetry over HTTP on this address (e.g. localhost:6060)")
 	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this JSON file")
 	flag.Parse()
 
-	if err := run(*tagAddr, *listen, *tagRange, *payload, *bits, *rounds, *seed, *debugAddr, *metricsOut); err != nil {
+	if err := run(*tagAddr, *listen, *tagRange, *payload, *bits, *fecName, *rounds, *seed, *debugAddr, *metricsOut); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(tagAddr, listen string, tagRange float64, payload string, bits, rounds int, seed int64, debugAddr, metricsOut string) error {
+func run(tagAddr, listen string, tagRange float64, payload string, bits int, fecName string, rounds int, seed int64, debugAddr, metricsOut string) error {
 	var metrics *telemetry.Metrics
 	if debugAddr != "" || metricsOut != "" {
 		metrics = telemetry.New()
 	}
+	fecCfg, err := fec.ParseConfig(fecName)
+	if err != nil {
+		return err
+	}
 	netw, err := core.NewNetwork(core.Config{
 		Nodes:      []core.NodeConfig{{ID: 1, Range: tagRange}},
 		SymbolBits: bits,
+		FEC:        fecCfg,
 		Seed:       seed,
 		Metrics:    metrics,
 	})

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"biscatter/internal/core"
+	"biscatter/internal/fec"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/netio"
 	"biscatter/internal/trace"
@@ -26,24 +27,30 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "UDP address to listen on")
 	id := flag.Int("id", 1, "tag ID")
 	bits := flag.Int("bits", 5, "CSSK symbol size (must match the radar)")
+	fecName := flag.String("fec", "none", "downlink FEC scheme: none, hamming or repetition (must match the radar)")
 	seed := flag.Int64("seed", 7, "noise seed")
 	uplink := flag.String("uplink", "telemetry", "uplink message (its bytes become uplink bits)")
 	rounds := flag.Int("rounds", 0, "exit after this many frames (0 = run forever)")
 	record := flag.String("record", "", "directory to record envelope captures into (trace files)")
 	flag.Parse()
 
-	if err := run(*listen, uint8(*id), *bits, *seed, *uplink, *rounds, *record); err != nil {
+	if err := run(*listen, uint8(*id), *bits, *fecName, *seed, *uplink, *rounds, *record); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, id uint8, bits int, seed int64, uplink string, rounds int, record string) error {
+func run(listen string, id uint8, bits int, fecName string, seed int64, uplink string, rounds int, record string) error {
 	// Build the same network stack the radar uses; only the tag half is
 	// exercised here. The placement range is irrelevant for the tag process
 	// (the radar owns the channel model).
+	fecCfg, err := fec.ParseConfig(fecName)
+	if err != nil {
+		return err
+	}
 	netw, err := core.NewNetwork(core.Config{
 		Nodes:      []core.NodeConfig{{ID: id, Range: 1}},
 		SymbolBits: bits,
+		FEC:        fecCfg,
 		Seed:       seed,
 	})
 	if err != nil {

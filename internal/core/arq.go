@@ -2,8 +2,97 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"time"
 )
+
+// DeliverOptions parameterizes the reliable-delivery ARQ engine. The zero
+// value selects the calibrated defaults.
+type DeliverOptions struct {
+	// MaxAttempts bounds the number of downlink transmissions; default 4.
+	MaxAttempts int
+	// AckBits is the acknowledgment redundancy: the node repeats its
+	// verdict across this many uplink bits and the radar majority-votes
+	// them. Must be odd so the vote has no ties; default 3.
+	AckBits int
+	// InitialBackoff is the delay before the second attempt; default 2 ms
+	// (a handful of frame durations). Subsequent attempts scale it by
+	// BackoffFactor.
+	InitialBackoff time.Duration
+	// BackoffFactor is the exponential backoff multiplier; default 2.
+	BackoffFactor float64
+	// JitterFraction spreads each backoff uniformly over
+	// [1-j, 1+j) × nominal so synchronized retransmissions from multiple
+	// radars decorrelate. The jitter sequence is drawn from the network
+	// seed, so it is deterministic per (seed, node, attempt). Default 0.25;
+	// must stay in [0, 1).
+	JitterFraction float64
+	// Sleep, when non-nil, is called with each backoff delay. The default
+	// (nil) only records the delays in the report — simulation time is
+	// free, and experiments must stay deterministic and fast. Pass
+	// time.Sleep for wall-clock pacing on real hardware.
+	Sleep func(time.Duration)
+}
+
+func (o DeliverOptions) withDefaults() DeliverOptions {
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 4
+	}
+	if o.AckBits == 0 {
+		o.AckBits = 3
+	}
+	if o.InitialBackoff == 0 {
+		o.InitialBackoff = 2 * time.Millisecond
+	}
+	if o.BackoffFactor == 0 {
+		o.BackoffFactor = 2
+	}
+	if o.JitterFraction == 0 {
+		o.JitterFraction = 0.25
+	}
+	return o
+}
+
+func (o DeliverOptions) validate() error {
+	switch {
+	case o.MaxAttempts < 1:
+		return fmt.Errorf("core: maxAttempts %d must be positive", o.MaxAttempts)
+	case o.AckBits < 1 || o.AckBits%2 == 0:
+		return fmt.Errorf("core: ack redundancy %d must be an odd positive bit count", o.AckBits)
+	case o.BackoffFactor < 1:
+		return fmt.Errorf("core: backoff factor %v must be at least 1", o.BackoffFactor)
+	case o.JitterFraction < 0 || o.JitterFraction >= 1:
+		return fmt.Errorf("core: jitter fraction %v must be in [0, 1)", o.JitterFraction)
+	}
+	return nil
+}
+
+// AttemptReport is the diagnostic record of one ARQ attempt: what the node
+// decoded, what the acknowledgment said, and how long the engine backed off
+// before the next try. The final attempt is recorded with the same fields
+// as every other one, so a failed delivery still tells the whole story.
+type AttemptReport struct {
+	// Attempt is the 1-based attempt number.
+	Attempt int
+	// Decoded reports whether the node decoded the payload cleanly.
+	Decoded bool
+	// DownlinkErr is the node's decode failure, if any.
+	DownlinkErr error
+	// FECCorrectedBits is how many channel errors the FEC layer repaired
+	// in this attempt's downlink — nonzero corrections on a delivered
+	// packet mean the link is degrading before it fails.
+	FECCorrectedBits int
+	// AckReadable reports whether the radar could read the node's
+	// acknowledgment at all (detection + demodulation succeeded).
+	AckReadable bool
+	// AckVotes is the number of positive votes among the AckBits
+	// acknowledgment bits (meaningful only when AckReadable).
+	AckVotes int
+	// Backoff is the delay scheduled after this attempt (zero for the
+	// final one — there is nothing to wait for).
+	Backoff time.Duration
+}
 
 // DeliveryReport summarizes a reliable-downlink delivery attempt sequence.
 type DeliveryReport struct {
@@ -11,58 +100,134 @@ type DeliveryReport struct {
 	Attempts int
 	// Delivered reports whether the node acknowledged a clean decode.
 	Delivered bool
-	// AckErrors counts acknowledgment frames the radar failed to read.
+	// AckErrors counts acknowledgment frames the radar failed to read,
+	// including one on the final attempt — an exhausted delivery whose
+	// last ACK was lost is scored the same as any other lost ACK.
 	AckErrors int
+	// Exchanges is the total number of frame slots consumed (payload +
+	// acknowledgment frames), the airtime denominator for goodput.
+	Exchanges int
+	// TotalBackoff is the summed backoff the engine scheduled (and slept,
+	// when DeliverOptions.Sleep is set).
+	TotalBackoff time.Duration
+	// AttemptLog records per-attempt diagnostics, one entry per attempt.
+	AttemptLog []AttemptReport
 }
 
 // DeliverReliable implements the on-demand retransmission loop that §1
 // motivates as a key benefit of downlink capability: without write access a
 // tag can never request a retransmission, so every lost packet is lost
 // forever. Each attempt is two frames: the payload frame, then an
-// acknowledgment frame on which the node modulates a single uplink bit
-// (1 = clean decode). The radar retransmits until the ACK arrives or
-// maxAttempts is exhausted.
+// acknowledgment frame on which the node modulates its verdict with
+// configurable redundancy. It is DeliverReliableContext with a background
+// context and default options (except the attempt bound).
 func (n *Network) DeliverReliable(nodeIdx int, payload []byte, maxAttempts int) (DeliveryReport, error) {
-	if nodeIdx < 0 || nodeIdx >= len(n.nodes) {
-		return DeliveryReport{}, fmt.Errorf("core: node index %d out of range", nodeIdx)
-	}
 	if maxAttempts < 1 {
 		return DeliveryReport{}, fmt.Errorf("core: maxAttempts %d must be positive", maxAttempts)
 	}
-	var rep DeliveryReport
-	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		rep.Attempts = attempt
-		// Payload frame: downlink only.
-		res, err := n.Exchange(payload, nil)
-		if err != nil {
-			return rep, err
-		}
-		nr := res.Nodes[nodeIdx]
-		decoded := nr.DownlinkErr == nil && bytes.Equal(nr.DownlinkPayload, payload)
+	return n.DeliverReliableContext(context.Background(), nodeIdx, payload, DeliverOptions{MaxAttempts: maxAttempts})
+}
 
-		// Acknowledgment frame: the node repeats its verdict across three
-		// uplink bits; the radar majority-votes them. The ack frame carries
-		// a minimal beacon payload so the radar keeps sensing.
-		ackBits := []bool{decoded, decoded, decoded}
-		ackRes, err := n.Exchange(nil, map[int][]bool{nodeIdx: ackBits})
-		if err != nil {
+// DeliverReliableContext runs the context-aware ARQ engine. Each attempt is
+// two frames — payload downlink, then an acknowledgment frame on which the
+// node repeats its verdict across opts.AckBits uplink bits for the radar to
+// majority-vote. Failed attempts back off exponentially with deterministic
+// seeded jitter before retrying; the delays are recorded in the report and,
+// when opts.Sleep is set, actually slept. ctx is checked between frames and
+// propagated into every exchange, so cancellation (or a deadline) aborts
+// mid-sequence with the report accumulated so far.
+func (n *Network) DeliverReliableContext(ctx context.Context, nodeIdx int, payload []byte, opts DeliverOptions) (DeliveryReport, error) {
+	if nodeIdx < 0 || nodeIdx >= len(n.nodes) {
+		return DeliveryReport{}, fmt.Errorf("core: node index %d out of range", nodeIdx)
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return DeliveryReport{}, err
+	}
+	var rep DeliveryReport
+	backoff := float64(opts.InitialBackoff)
+	for attempt := 1; attempt <= opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
-		ar := ackRes.Nodes[nodeIdx]
-		if ar.DetectionErr != nil || ar.UplinkErr != nil || len(ar.UplinkBits) < len(ackBits) {
-			rep.AckErrors++
-			continue // radar cannot read the verdict; retransmit
+		rep.Attempts = attempt
+		ar := AttemptReport{Attempt: attempt}
+
+		// Payload frame: downlink only.
+		res, err := n.ExchangeContext(ctx, payload, nil)
+		if err != nil {
+			rep.AttemptLog = append(rep.AttemptLog, ar)
+			return rep, err
 		}
-		votes := 0
-		for _, b := range ar.UplinkBits[:len(ackBits)] {
-			if b {
-				votes++
+		rep.Exchanges++
+		nr := res.Nodes[nodeIdx]
+		ar.Decoded = nr.DownlinkErr == nil && bytes.Equal(nr.DownlinkPayload, payload)
+		ar.DownlinkErr = nr.DownlinkErr
+		ar.FECCorrectedBits = nr.DownlinkDiag.FECCorrectedBits
+
+		// Acknowledgment frame: the node repeats its verdict across
+		// opts.AckBits uplink bits. The ack frame carries a minimal beacon
+		// payload so the radar keeps sensing.
+		ackBits := make([]bool, opts.AckBits)
+		for i := range ackBits {
+			ackBits[i] = ar.Decoded
+		}
+		ackRes, err := n.ExchangeContext(ctx, nil, map[int][]bool{nodeIdx: ackBits})
+		if err != nil {
+			rep.AttemptLog = append(rep.AttemptLog, ar)
+			return rep, err
+		}
+		rep.Exchanges++
+		ack := ackRes.Nodes[nodeIdx]
+		ar.AckReadable = ack.DetectionErr == nil && ack.UplinkErr == nil && len(ack.UplinkBits) >= len(ackBits)
+		if ar.AckReadable {
+			for _, b := range ack.UplinkBits[:len(ackBits)] {
+				if b {
+					ar.AckVotes++
+				}
+			}
+		} else {
+			rep.AckErrors++
+		}
+		delivered := ar.AckReadable && 2*ar.AckVotes > opts.AckBits
+
+		if !delivered && attempt < opts.MaxAttempts {
+			d := n.jitteredBackoff(backoff, nodeIdx, attempt, opts.JitterFraction)
+			ar.Backoff = d
+			rep.TotalBackoff += d
+			backoff *= opts.BackoffFactor
+			if opts.Sleep != nil {
+				opts.Sleep(d)
 			}
 		}
-		if votes >= 2 {
+		rep.AttemptLog = append(rep.AttemptLog, ar)
+		if delivered {
 			rep.Delivered = true
 			return rep, nil
 		}
 	}
 	return rep, nil
+}
+
+// jitteredBackoff spreads a nominal backoff over [1-j, 1+j) with a
+// deterministic fraction drawn from (network seed, node, attempt) — the
+// same exchange sequence always schedules the same delays, at any worker
+// count.
+func (n *Network) jitteredBackoff(nominal float64, nodeIdx, attempt int, jitter float64) time.Duration {
+	if jitter == 0 {
+		return time.Duration(nominal)
+	}
+	h := splitmix(uint64(n.cfg.Seed)<<20 ^ uint64(nodeIdx)<<10 ^ uint64(attempt))
+	frac := float64(h>>11) / float64(1<<53) // uniform in [0, 1)
+	scale := 1 - jitter + 2*jitter*frac
+	return time.Duration(nominal * scale)
+}
+
+// splitmix is the splitmix64 finalizer: a stateless avalanche hash good
+// enough to decorrelate backoff jitter across nodes and attempts.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
 }

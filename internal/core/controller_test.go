@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"biscatter/internal/fec"
+)
+
+// testLadder is a short two-rung ladder so controller tests stay fast.
+func testLadder() []LinkMode {
+	return []LinkMode{
+		{Name: "nominal", SymbolBits: 5, AckBits: 3},
+		{Name: "coded", SymbolBits: 5, AckBits: 3,
+			FEC: fec.Config{Scheme: fec.SchemeHamming74, InterleaveDepth: 14}},
+	}
+}
+
+func TestDefaultModeLadderBuilds(t *testing.T) {
+	// Every rung of the shipped ladder must produce a buildable network.
+	for _, m := range DefaultModeLadder() {
+		cfg := oneNodeConfig(2.6, 7)
+		n, err := NewNetwork(cfg, WithLinkMode(m))
+		if err != nil {
+			t.Fatalf("mode %q: %v", m.Name, err)
+		}
+		if got := n.Config().SymbolBits; got != m.SymbolBits {
+			t.Fatalf("mode %q: symbol bits %d, want %d", m.Name, got, m.SymbolBits)
+		}
+		if n.Packet().FEC != m.FEC {
+			t.Fatalf("mode %q: FEC config not applied", m.Name)
+		}
+	}
+}
+
+func TestControllerStaysNominalOnCleanLink(t *testing.T) {
+	lc, err := NewLinkController(ControllerConfig{
+		Network: oneNodeConfig(2.6, 60),
+		Ladder:  testLadder(),
+		Deliver: DeliverOptions{MaxAttempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rep, err := lc.Deliver(context.Background(), 0, []byte("steady"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Delivered {
+			t.Fatalf("delivery %d failed on a clean short link", i)
+		}
+	}
+	if lc.Level() != 0 {
+		t.Fatalf("controller degraded to level %d on a clean link", lc.Level())
+	}
+	if lc.NodeState(0) != BreakerClosed {
+		t.Fatalf("breaker %v on a clean link", lc.NodeState(0))
+	}
+}
+
+func TestControllerDegradesAndQuarantines(t *testing.T) {
+	// A node far beyond range fails every delivery: the controller must
+	// walk down the ladder, then open the node's breaker, fail fast while
+	// quarantined, and spend exactly one probe attempt per probe slot.
+	lc, err := NewLinkController(ControllerConfig{
+		Network:          oneNodeConfig(40, 61),
+		Ladder:           testLadder(),
+		DegradeAfter:     1,
+		BreakerThreshold: 2,
+		ProbeInterval:    2,
+		Deliver:          DeliverOptions{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	payload := []byte("unreachable")
+
+	// Failure 1: degrade from nominal to the bottom rung.
+	if rep, err := lc.Deliver(ctx, 0, payload); err != nil || rep.Delivered {
+		t.Fatalf("delivery at 40 m: delivered=%v err=%v", rep.Delivered, err)
+	}
+	if lc.Level() != 1 {
+		t.Fatalf("level %d after first failure, want 1", lc.Level())
+	}
+	// Failures 2, 3 at the bottom: breaker opens at the threshold.
+	for i := 0; i < 2; i++ {
+		if _, err := lc.Deliver(ctx, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lc.NodeState(0) != BreakerOpen {
+		t.Fatalf("breaker %v after persistent failure, want open", lc.NodeState(0))
+	}
+	// Quarantined slot: fails fast, no airtime.
+	rep, err := lc.Deliver(ctx, 0, payload)
+	if !errors.Is(err, ErrNodeQuarantined) {
+		t.Fatalf("quarantined delivery returned %v", err)
+	}
+	if rep.Exchanges != 0 {
+		t.Fatalf("quarantined delivery consumed %d exchanges", rep.Exchanges)
+	}
+	// Next slot is the half-open probe: one attempt, then reopen.
+	rep, err = lc.Deliver(ctx, 0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 1 {
+		t.Fatalf("probe used %d attempts, want exactly 1", rep.Attempts)
+	}
+	if lc.NodeState(0) != BreakerOpen {
+		t.Fatalf("breaker %v after failed probe, want reopened", lc.NodeState(0))
+	}
+}
+
+func TestControllerRecoversAfterCleanStreak(t *testing.T) {
+	// Two nodes: one in easy range, one unreachable. A failure to the far
+	// node degrades the link; a streak of clean deliveries to the near one
+	// must climb back up.
+	lc, err := NewLinkController(ControllerConfig{
+		Network: Config{
+			Nodes: []NodeConfig{{ID: 1, Range: 2.6}, {ID: 2, Range: 40}},
+			Seed:  62,
+		},
+		Ladder:       testLadder(),
+		DegradeAfter: 1,
+		RecoverAfter: 2,
+		Deliver:      DeliverOptions{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := lc.Deliver(ctx, 1, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Level() != 1 {
+		t.Fatalf("level %d after far-node failure, want 1", lc.Level())
+	}
+	for i := 0; i < 2; i++ {
+		rep, err := lc.Deliver(ctx, 0, []byte("probe"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Delivered {
+			t.Fatalf("near-node delivery %d failed at level %d", i, lc.Level())
+		}
+	}
+	if lc.Level() != 0 {
+		t.Fatalf("level %d after clean streak, want recovered to 0", lc.Level())
+	}
+}
+
+func TestControllerWorkerInvariance(t *testing.T) {
+	// The controller's trajectory — levels, delivery outcomes, attempt
+	// counts, breaker states — must be byte-identical at any worker count.
+	type step struct {
+		Level     int
+		Delivered bool
+		Attempts  int
+		Breaker   BreakerState
+	}
+	run := func(workers int) []step {
+		lc, err := NewLinkController(ControllerConfig{
+			Network: Config{
+				Nodes:   []NodeConfig{{ID: 1, Range: 2.6}, {ID: 2, Range: 40}},
+				Seed:    63,
+				Workers: workers,
+			},
+			Ladder:           testLadder(),
+			DegradeAfter:     1,
+			BreakerThreshold: 2,
+			ProbeInterval:    2,
+			Deliver:          DeliverOptions{MaxAttempts: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var steps []step
+		for i := 0; i < 5; i++ {
+			node := i % 2
+			rep, err := lc.Deliver(context.Background(), node, []byte("trace"))
+			if err != nil && !errors.Is(err, ErrNodeQuarantined) {
+				t.Fatal(err)
+			}
+			steps = append(steps, step{lc.Level(), rep.Delivered, rep.Attempts, lc.NodeState(node)})
+		}
+		return steps
+	}
+	one := run(1)
+	four := run(4)
+	for i := range one {
+		if one[i] != four[i] {
+			t.Fatalf("step %d diverged across workers: %+v vs %+v", i, one[i], four[i])
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"biscatter/internal/cssk"
 	"biscatter/internal/delayline"
 	"biscatter/internal/fault"
+	"biscatter/internal/fec"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/packet"
 	"biscatter/internal/parallel"
@@ -53,8 +54,20 @@ type Config struct {
 	// Period is the chirp period; defaults to the preset's.
 	Period float64
 	// SymbolBits is the CSSK symbol size; default 5 (the paper's headline
-	// operating point).
+	// operating point). Fewer bits use fewer slopes over the same duration
+	// range, widening the alphabet spacing — the first lever the link
+	// controller pulls when degrading.
 	SymbolBits int
+	// HeaderChirps is the downlink preamble header length in chirps;
+	// default 8. Longer headers make period estimation survive jammed
+	// chirps at the cost of airtime.
+	HeaderChirps int
+	// SyncChirps is the downlink sync field length in chirps; default 2.
+	SyncChirps int
+	// FEC selects the downlink forward-error-correction layer. The zero
+	// value disables coding and keeps the on-air frames byte-identical to a
+	// pre-FEC build.
+	FEC fec.Config
 	// MinChirpDuration defaults to 20 µs, the commercial-radar floor.
 	MinChirpDuration float64
 	// DeltaL is the tag delay-line length difference in meters; defaults to
@@ -103,6 +116,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SymbolBits == 0 {
 		c.SymbolBits = 5
+	}
+	if c.HeaderChirps == 0 {
+		c.HeaderChirps = 8
+	}
+	if c.SyncChirps == 0 {
+		c.SyncChirps = 2
 	}
 	if c.MinChirpDuration == 0 {
 		c.MinChirpDuration = 20e-6
@@ -185,7 +204,10 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkt := packet.Config{Alphabet: alphabet, HeaderLen: 8, SyncLen: 2}
+	pkt := packet.Config{Alphabet: alphabet, HeaderLen: cfg.HeaderChirps, SyncLen: cfg.SyncChirps, FEC: cfg.FEC}
+	if err := pkt.Validate(); err != nil {
+		return nil, err
+	}
 	builder, err := fmcw.NewFrameBuilder(cfg.Preset.Chirp, cfg.Period)
 	if err != nil {
 		return nil, err

@@ -196,7 +196,9 @@ func TestFaultWorkerInvariance(t *testing.T) {
 				}
 				return res
 			}
-			requireSameExchange(t, name, run(1), run(4))
+			base := run(1)
+			requireSameExchange(t, name, base, run(4))
+			requireSameExchange(t, name, base, run(8))
 		})
 	}
 }

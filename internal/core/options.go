@@ -3,6 +3,7 @@ package core
 import (
 	"biscatter/internal/channel"
 	"biscatter/internal/fault"
+	"biscatter/internal/fec"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/telemetry"
 )
@@ -51,6 +52,32 @@ func WithNodes(nodes ...NodeConfig) Option {
 // package for the determinism contract.
 func WithFaults(p *fault.Profile) Option {
 	return func(c *Config) { c.Faults = p }
+}
+
+// WithFEC selects the downlink forward-error-correction layer. The zero
+// config (fec.SchemeNone) keeps on-air frames byte-identical to a build
+// without FEC.
+func WithFEC(fc fec.Config) Option {
+	return func(c *Config) { c.FEC = fc }
+}
+
+// WithPreamble sizes the downlink preamble: header chirps (period
+// estimation) and sync chirps (payload start marker). Longer preambles
+// survive jammed chirps at the cost of airtime. Zero keeps the default
+// (8 header, 2 sync).
+func WithPreamble(headerChirps, syncChirps int) Option {
+	return func(c *Config) {
+		c.HeaderChirps = headerChirps
+		c.SyncChirps = syncChirps
+	}
+}
+
+// WithLinkMode applies a link controller operating mode to the
+// configuration — symbol width, FEC, and preamble in one step. It is how
+// the controller rebuilds a network at a new degradation level, exported so
+// experiments can pin a fixed mode.
+func WithLinkMode(m LinkMode) Option {
+	return func(c *Config) { m.apply(c) }
 }
 
 // WithMetrics attaches a telemetry registry: per-stage latency histograms,

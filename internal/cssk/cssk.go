@@ -145,6 +145,32 @@ func (c Config) DataRate() float64 {
 	return float64(c.SymbolBits) / c.Period
 }
 
+// WithSymbolBits returns a copy of the configuration at a different symbol
+// width, every physical parameter unchanged — the one-field rewrite the
+// link controller's degradation ladder performs when it trades bits for
+// slope spacing.
+func (c Config) WithSymbolBits(bits int) Config {
+	c.SymbolBits = bits
+	return c
+}
+
+// SpacingForBits returns the beat spacing (Hz) an alphabet at the given
+// symbol width would place between adjacent constellation points — the
+// robustness margin a degradation step buys. Fewer bits spread the same
+// beat range over fewer slopes, widening the spacing. Returns 0 when the
+// width doesn't fit the configuration.
+func (c Config) SpacingForBits(bits int) float64 {
+	if bits < 1 || bits > 16 {
+		return 0
+	}
+	m := (1 << bits) + 2 // data symbols plus the header and sync slopes
+	lo, hi := c.BeatRange()
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / float64(m-1)
+}
+
 // Alphabet is a constructed CSSK constellation: 2^SymbolBits data symbols
 // plus the header and sync symbols, all at distinct beat frequencies.
 type Alphabet struct {

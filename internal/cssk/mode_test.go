@@ -1,0 +1,62 @@
+package cssk
+
+import "testing"
+
+func TestWithSymbolBitsRewritesOnlyWidth(t *testing.T) {
+	base := testConfig(5)
+	got := base.WithSymbolBits(3)
+	if got.SymbolBits != 3 {
+		t.Fatalf("SymbolBits = %d, want 3", got.SymbolBits)
+	}
+	if base.SymbolBits != 5 {
+		t.Fatalf("receiver mutated: SymbolBits = %d, want 5", base.SymbolBits)
+	}
+	// Every physical parameter must carry over unchanged.
+	want := testConfig(3)
+	if got != want {
+		t.Fatalf("copy diverged beyond SymbolBits:\ngot  %+v\nwant %+v", got, want)
+	}
+	if _, err := NewAlphabet(got); err != nil {
+		t.Fatalf("narrowed config no longer builds an alphabet: %v", err)
+	}
+}
+
+func TestSpacingForBitsMatchesAlphabetGeometry(t *testing.T) {
+	c := testConfig(5)
+	lo, hi := c.BeatRange()
+	for bits := 1; bits <= c.MaxSymbolBits(); bits++ {
+		m := (1 << bits) + 2
+		want := (hi - lo) / float64(m-1)
+		if got := c.SpacingForBits(bits); !approxEq(got, want, 1e-9) {
+			t.Errorf("bits %d: spacing %v, want %v", bits, got, want)
+		}
+	}
+}
+
+func TestSpacingForBitsWidensAsBitsDrop(t *testing.T) {
+	c := testConfig(5)
+	prev := 0.0
+	// Walking the ladder down from 5 bits, each step must strictly widen
+	// the spacing — the robustness margin each degradation rung buys.
+	for _, bits := range []int{5, 4, 3, 2, 1} {
+		s := c.SpacingForBits(bits)
+		if s <= prev {
+			t.Fatalf("bits %d: spacing %v did not widen beyond %v", bits, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestSpacingForBitsRejectsUnusableWidths(t *testing.T) {
+	c := testConfig(5)
+	for _, bits := range []int{0, -1, 17} {
+		if s := c.SpacingForBits(bits); s != 0 {
+			t.Errorf("bits %d: spacing %v, want 0", bits, s)
+		}
+	}
+	degenerate := c
+	degenerate.DeltaT = 0 // collapses the beat range
+	if s := degenerate.SpacingForBits(5); s != 0 {
+		t.Errorf("degenerate beat range: spacing %v, want 0", s)
+	}
+}

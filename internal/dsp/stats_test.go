@@ -10,7 +10,7 @@ func TestMedian(t *testing.T) {
 		{nil, 0},
 		{[]float64{}, 0},
 		{[]float64{7}, 7},
-		{[]float64{3, 1}, 3},          // upper median of an even count
+		{[]float64{3, 1}, 3}, // upper median of an even count
 		{[]float64{5, 1, 3}, 3},
 		{[]float64{4, 2, 1, 3}, 3},
 		{[]float64{-1, -5, -3}, -3},

@@ -70,6 +70,7 @@ var Registry = []struct {
 	{"ablation", Ablations},
 	{"ext", Extensions},
 	{"scenarios", Scenarios},
+	{"recovery", Recovery},
 }
 
 // Lookup finds an experiment by ID.

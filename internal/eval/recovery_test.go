@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recoveryTestOptions mirrors the biscatter-sim defaults the recovery
+// experiment ships with, so the conformance numbers here are the published
+// ones.
+func recoveryTestOptions(workers int) Options {
+	return Options{Seed: 1, Workers: workers}
+}
+
+// TestRecoveryAdaptiveBeatsFixed is the headline closed-loop conformance
+// check: across the standard jamming duty sweep the adaptive controller's
+// delivered goodput is never below the fixed nominal configuration's, and
+// once jamming is heavy (duty ≥ 0.3) it is strictly higher — the payoff of
+// trading symbol rate for FEC strength, slope spacing and preamble length.
+func TestRecoveryAdaptiveBeatsFixed(t *testing.T) {
+	const rounds = 6
+	duties := []float64{0, 0.25, 0.5, 0.75, 1}
+	points, err := RecoverySweep(duties, rounds, recoveryTestOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(duties) {
+		t.Fatalf("got %d points, want %d", len(points), len(duties))
+	}
+	for _, p := range points {
+		fixed, adaptive := p.Fixed.Goodput(), p.Adaptive.Goodput()
+		if adaptive < fixed {
+			t.Errorf("duty %.2f: adaptive goodput %.3f below fixed %.3f", p.Duty, adaptive, fixed)
+		}
+		if p.Duty >= 0.3 && adaptive <= fixed {
+			t.Errorf("duty %.2f: adaptive goodput %.3f not strictly above fixed %.3f",
+				p.Duty, adaptive, fixed)
+		}
+	}
+	// Duty 0 is byte-identical between policies by construction: the
+	// controller starts in the nominal mode and a clean link never leaves it.
+	clean := points[0]
+	if clean.Fixed != clean.Adaptive ||
+		clean.Adaptive.FinalLevel != 0 || clean.Adaptive.Quarantined != 0 {
+		t.Errorf("duty 0 policies diverged:\nfixed    %+v\nadaptive %+v", clean.Fixed, clean.Adaptive)
+	}
+	// Heavy jamming must actually push the controller down the ladder —
+	// otherwise the strict win above is measuring something else.
+	if points[len(points)-1].Adaptive.FinalLevel == 0 {
+		t.Error("full-duty jamming left the controller at the nominal rung")
+	}
+}
+
+// TestRecoverySweepWorkerInvariance extends the determinism contract to the
+// full closed loop (ARQ, controller decisions, breaker state): sweep results
+// must be byte-identical at 1, 4 and 8 workers.
+func TestRecoverySweepWorkerInvariance(t *testing.T) {
+	const rounds = 4
+	duties := []float64{0.5}
+	run := func(workers int) []RecoveryPoint {
+		points, err := RecoverySweep(duties, rounds, recoveryTestOptions(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	base := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); !reflect.DeepEqual(base, got) {
+			t.Errorf("recovery sweep diverged between 1 and %d workers:\n1: %+v\n%d: %+v",
+				workers, base, workers, got)
+		}
+	}
+}

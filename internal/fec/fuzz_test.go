@@ -1,0 +1,108 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// bitsFromBytes expands a byte stream into bits, LSB first, truncated to n.
+func bitsFromBytes(raw []byte, n int) []bool {
+	if n > len(raw)*8 {
+		n = len(raw) * 8
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = raw[i/8]>>(i%8)&1 == 1
+	}
+	return out
+}
+
+func bytesFromBits(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// FuzzFECDecode feeds arbitrary received streams through every scheme. The
+// decoder must never panic, and whenever a stream round-trips from a clean
+// encode it must decode back to the original data.
+func FuzzFECDecode(f *testing.F) {
+	// Valid codewords: clean encodes of short payloads under each scheme.
+	for _, scheme := range []byte{0, 1, 2} {
+		cfg := Config{Scheme: Scheme(scheme), InterleaveDepth: 8}
+		data := testBits(uint64(scheme)+11, 32)
+		coded := cfg.EncodeBits(data)
+		f.Add(scheme, byte(8), byte(3), bytesFromBits(coded), len(coded))
+	}
+	// Burst-corrupted: a depth-long run of flipped bits mid-stream.
+	{
+		cfg := Config{Scheme: SchemeHamming74, InterleaveDepth: 16}
+		coded := cfg.EncodeBits(testBits(99, 64))
+		for i := 20; i < 36 && i < len(coded); i++ {
+			coded[i] = !coded[i]
+		}
+		f.Add(byte(1), byte(16), byte(3), bytesFromBits(coded), len(coded))
+	}
+	// Truncated: fewer bits than one pad quantum.
+	f.Add(byte(1), byte(0), byte(3), []byte{0xA5, 0x5A}, 13)
+	f.Add(byte(2), byte(4), byte(5), []byte{0xFF}, 3)
+
+	f.Fuzz(func(t *testing.T, scheme, depth, repeat byte, raw []byte, nbits int) {
+		if nbits < 0 || nbits > len(raw)*8 || len(raw) > 1<<12 {
+			t.Skip()
+		}
+		cfg := Config{
+			Scheme:          Scheme(scheme % 3),
+			InterleaveDepth: int(depth),
+			Repeat:          int(repeat) | 1, // keep it odd
+		}
+		if cfg.Repeat < 3 {
+			cfg.Repeat = 3
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Skip()
+		}
+		recv := bitsFromBytes(raw, nbits)
+
+		// Arbitrary garbage must never panic; errors are fine.
+		if _, _, err := cfg.DecodeBits(recv, 15); err != nil &&
+			cfg.Scheme != SchemeNone && len(recv) >= PadQuantum && len(recv)%PadQuantum <= 15 {
+			t.Fatalf("well-formed length %d rejected: %v", len(recv), err)
+		}
+
+		// Clean round trip must be lossless for whole-byte payloads.
+		data := recv
+		if n := len(data) / 8 * 8; n != len(data) {
+			data = data[:n]
+		}
+		coded := cfg.EncodeBits(append([]bool(nil), data...))
+		got, st, err := cfg.DecodeBits(coded, 15)
+		if cfg.Scheme == SchemeNone {
+			if err != nil || !bytes.Equal(bytesFromBits(got), bytesFromBits(data)) {
+				t.Fatalf("SchemeNone round trip failed: %v", err)
+			}
+			return
+		}
+		if len(data) == 0 {
+			return // empty encode yields an empty (too-short) stream
+		}
+		if err != nil {
+			t.Fatalf("clean round trip errored: %v", err)
+		}
+		if st.CorrectedBits != 0 {
+			t.Fatalf("clean round trip claimed %d corrections", st.CorrectedBits)
+		}
+		if len(got) < len(data) {
+			t.Fatalf("decoded %d bits, fewer than the %d encoded", len(got), len(data))
+		}
+		for i, b := range data {
+			if got[i] != b {
+				t.Fatalf("bit %d corrupted on a clean channel", i)
+			}
+		}
+	})
+}

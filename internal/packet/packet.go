@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"biscatter/internal/cssk"
+	"biscatter/internal/fec"
 )
 
 // Limits for the on-air payload.
@@ -40,6 +41,11 @@ type Config struct {
 	HeaderLen int
 	// SyncLen is the number of sync-symbol chirps marking the payload start.
 	SyncLen int
+	// FEC selects the forward-error-correction layer applied to the framed
+	// payload bits (length ‖ data ‖ CRC-8) before symbol packing. The zero
+	// value (fec.SchemeNone) is the exact identity: the on-air symbol stream
+	// is byte-identical to a build that never heard of FEC.
+	FEC fec.Config
 }
 
 // Validate checks the framing configuration.
@@ -52,13 +58,13 @@ func (c Config) Validate() error {
 	case c.SyncLen < 1:
 		return fmt.Errorf("packet: sync length %d must be at least 1 chirp", c.SyncLen)
 	}
-	return nil
+	return c.FEC.Validate()
 }
 
 // PayloadSymbols returns how many data symbols an n-byte payload occupies
-// (length prefix + payload + CRC-8).
+// (length prefix + payload + CRC-8, after FEC expansion).
 func (c Config) PayloadSymbols(n int) int {
-	bits := (1 + n + 1) * 8
+	bits := c.FEC.CodedBits(1 + n + 1)
 	return (bits + c.Alphabet.SymbolBits() - 1) / c.Alphabet.SymbolBits()
 }
 
@@ -82,7 +88,7 @@ func (c Config) Encode(payload []byte) ([]cssk.Symbol, error) {
 	buf = append(buf, payload...)
 	buf = append(buf, CRC8(buf))
 
-	bits := cssk.BytesToBits(buf)
+	bits := c.FEC.EncodeBits(cssk.BytesToBits(buf))
 	values := cssk.PackBits(bits, c.Alphabet.SymbolBits())
 
 	out := make([]cssk.Symbol, 0, c.HeaderLen+c.SyncLen+len(values))
@@ -122,12 +128,23 @@ func (c Config) Durations(payload []byte) ([]float64, error) {
 // followed by at least one sync symbol — tolerating a partially missed
 // header, which happens when the tag wakes mid-packet.
 func (c Config) Decode(stream []cssk.Symbol) ([]byte, error) {
+	payload, _, err := c.DecodeStats(stream)
+	return payload, err
+}
+
+// DecodeStats is Decode plus the FEC layer's diagnostics: how many coded
+// bits were consumed and how many channel errors the code repaired. The
+// stats are meaningful even when decoding ultimately fails (e.g. the CRC
+// still mismatches after correction) — the link controller uses them as a
+// channel-quality signal.
+func (c Config) DecodeStats(stream []cssk.Symbol) ([]byte, fec.Stats, error) {
+	var st fec.Stats
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	start, ok := c.findPayloadStart(stream)
 	if !ok {
-		return nil, ErrNoPreamble
+		return nil, st, ErrNoPreamble
 	}
 	values := make([]uint32, 0, len(stream)-start)
 	for _, s := range stream[start:] {
@@ -136,26 +153,34 @@ func (c Config) Decode(stream []cssk.Symbol) ([]byte, error) {
 		}
 		v, err := c.Alphabet.ValueForSymbol(s)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		values = append(values, v)
 	}
 	symbolBits := c.Alphabet.SymbolBits()
 	totalBits := len(values) * symbolBits
-	if totalBits < 16 { // need at least length + CRC bytes
-		return nil, ErrTruncated
+	recv := cssk.UnpackBits(values, symbolBits, totalBits)
+	// Symbol packing adds < symbolBits trailing pad bits, and a noisy tail
+	// may misclassify a few more chirps as data; anything short of the FEC
+	// pad quantum is provably not payload, so let the FEC layer drop it and
+	// leave the CRC as the final arbiter.
+	bits, st, err := c.FEC.DecodeBits(recv, fec.PadQuantum-1)
+	if err != nil {
+		return nil, st, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
-	bits := cssk.UnpackBits(values, symbolBits, totalBits)
+	if len(bits) < 16 { // need at least length + CRC bytes
+		return nil, st, ErrTruncated
+	}
 	raw := cssk.BitsToBytes(bits)
 	n := int(raw[0])
 	if len(raw) < 1+n+1 {
-		return nil, ErrTruncated
+		return nil, st, ErrTruncated
 	}
 	body := raw[:1+n]
 	if CRC8(body) != raw[1+n] {
-		return nil, ErrCRC
+		return nil, st, ErrCRC
 	}
-	return append([]byte(nil), body[1:]...), nil
+	return append([]byte(nil), body[1:]...), st, nil
 }
 
 // FindPayloadStart locates the index of the first data symbol after the

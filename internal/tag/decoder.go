@@ -86,6 +86,12 @@ type Diagnostics struct {
 	ChirpStart int
 	// Symbols is the number of chirp slots classified.
 	Symbols int
+	// FECCodedBits is the number of coded payload bits the FEC layer
+	// consumed (zero when FEC is disabled).
+	FECCodedBits int
+	// FECCorrectedBits is the number of channel bit errors the FEC layer
+	// repaired — a direct channel-quality signal for the link controller.
+	FECCorrectedBits int
 }
 
 // EstimatePeriod estimates the chirp period in samples from the capture's
@@ -425,6 +431,8 @@ func (d *Decoder) DecodePacket(x []float64, cfg packet.Config) ([]byte, Diagnost
 	if err != nil {
 		return nil, diag, err
 	}
-	payload, err := cfg.Decode(syms)
+	payload, st, err := cfg.DecodeStats(syms)
+	diag.FECCodedBits = st.CodedBits
+	diag.FECCorrectedBits = st.CorrectedBits
 	return payload, diag, err
 }
