@@ -8,6 +8,7 @@ package biscatter
 
 import (
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -325,12 +326,25 @@ func BenchmarkExchange(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			// One warm-up exchange so the scratch arenas reach their
+			// high-water marks outside the timed region; the timed loop
+			// then measures steady state, which is what the alloc pins
+			// and BENCH_exchange.json schema 3 record.
+			if _, err := n.Exchange(payload, up); err != nil {
+				b.Fatal(err)
+			}
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := n.Exchange(payload, up); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.PauseTotalNs-before.PauseTotalNs)/float64(b.N), "gc-pause-ns/op")
 		})
 	}
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// allocTestNetwork builds a small workers=1 network for allocation pins:
+// AllocsPerRun forces GOMAXPROCS=1, so the serial path is the one measured,
+// and the short two-node frame keeps each exchange fast enough to repeat.
+func allocTestNetwork(t testing.TB) (*Network, []byte, map[int][]bool) {
+	t.Helper()
+	n, err := NewNetwork(Config{
+		Nodes: []NodeConfig{
+			{ID: 1, Range: 2.0, ModulationF0: 1000, ModulationF1: 1600},
+			{ID: 2, Range: 3.5, ModulationF0: 2200, ModulationF1: 2800},
+		},
+		Seed:         99,
+		ChirpsPerBit: 16,
+		Workers:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xA5}
+	uplink := map[int][]bool{0: {true, false}, 1: {false, true}}
+	return n, payload, uplink
+}
+
+// TestExchangeSteadyStateAllocs pins the tentpole: after warm-up, a full
+// exchange round must run in a bounded (small) number of heap allocations.
+// The scratch-arena memory model keeps the per-chirp and per-bin hot loops
+// allocation-free; what remains is the per-exchange result assembly (frame,
+// ExchangeResult, decoded payloads/bits) plus a handful of boxed values.
+// The pre-arena pipeline spent ~11.5k allocations per exchange on the bench
+// workload; the pin below is the regression tripwire for the ≥10× floor.
+func TestExchangeSteadyStateAllocs(t *testing.T) {
+	n, payload, uplink := allocTestNetwork(t)
+	for i := 0; i < 3; i++ {
+		if _, err := n.Exchange(payload, uplink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := n.Exchange(payload, uplink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state Exchange: %.0f allocs/op", allocs)
+	// Measured ~45 allocs/op on this workload; the pin leaves headroom for
+	// runtime variation while staying two orders of magnitude under the
+	// pre-arena count.
+	const pin = 120
+	if allocs > pin {
+		t.Fatalf("steady-state Exchange allocated %.0f times, pin is %d", allocs, pin)
+	}
+}
+
+// TestExchangeScratchFootprintStabilizes is the byte-level leak test: over
+// 100 steady-state exchanges the total heap bytes allocated per round must
+// stay flat and small — the arenas and scratch buffers reach their
+// high-water marks during warm-up and are reused verbatim afterwards.
+func TestExchangeScratchFootprintStabilizes(t *testing.T) {
+	n, payload, uplink := allocTestNetwork(t)
+	for i := 0; i < 5; i++ {
+		if _, err := n.Exchange(payload, uplink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		if _, err := n.Exchange(payload, uplink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	perRound := (after.TotalAlloc - before.TotalAlloc) / rounds
+	t.Logf("steady-state Exchange: %d B/op", perRound)
+	// The pre-arena pipeline allocated tens of MB per exchange; measured
+	// steady state is ~11 KB per round (results + residual boxing), so any
+	// scratch leak blows through this bound quickly.
+	if perRound > 128<<10 {
+		t.Fatalf("steady-state Exchange allocates %d B per round; scratch is leaking", perRound)
+	}
+}

@@ -155,6 +155,10 @@ type Node struct {
 }
 
 // Network is a BiScatter deployment: one radar access point and its nodes.
+//
+// A Network reuses internal scratch buffers across exchanges (and its radar
+// reuses frame-shaped buffers), so a single Network must not run two
+// exchanges concurrently; run concurrent workloads on separate networks.
 type Network struct {
 	cfg      Config
 	link     channel.Link
@@ -168,6 +172,34 @@ type Network struct {
 	tel      coreTel
 	rec      telemetry.Recorder
 	radarInj *fault.RadarInjector
+	scr      exchangeScratch
+}
+
+// exchangeScratch is the per-exchange buffer set the pipeline reuses: the
+// scene's tag echoes and switch states, the magnitude matrix and background
+// row, the joint detector's tone/combined profiles, bin ownership, median
+// sort scratch, and the per-node detection outputs.
+type exchangeScratch struct {
+	tags   []radar.TagEcho
+	states [][]bool
+	mag    [][]float64
+	bg     []float64
+	tones  [][]float64
+	profs  [][]float64
+	owner  []int
+	med    []float64
+	dets   []radar.Detection
+	diags  []radar.DetectionDiag
+	errs   []error
+}
+
+// growRows extends a row set to at least n entries (appending nil rows)
+// without shrinking, so row backing buffers survive across exchanges.
+func growRows[T any](rows [][]T, n int) [][]T {
+	for len(rows) < n {
+		rows = append(rows, nil)
+	}
+	return rows
 }
 
 // NewNetwork builds a network from the configuration, then applies the

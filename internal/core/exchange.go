@@ -81,17 +81,22 @@ func (n *Network) buildScene(frame *fmcw.Frame, uplinkBits map[int][]bool) (rada
 		merged = append(merged, f.Clutter...)
 		scene.Clutter = merged
 	}
+	n.scr.states = growRows(n.scr.states, len(n.nodes))
+	tags := n.scr.tags[:0]
 	for i, node := range n.nodes {
-		states, serr := node.Tag.UplinkStates(uplinkBits[i], n.cfg.Period, len(frame.Chirps))
+		states, serr := node.Tag.UplinkStatesInto(n.scr.states[i], uplinkBits[i], n.cfg.Period, len(frame.Chirps))
 		if serr != nil {
 			return radar.Scene{}, fmt.Errorf("core: node %d uplink states: %w", i, serr)
 		}
-		scene.Tags = append(scene.Tags, radar.TagEcho{
+		n.scr.states[i] = states
+		tags = append(tags, radar.TagEcho{
 			Range:    node.Range,
 			States:   states,
 			PowerDBm: n.link.UplinkRxPowerDBm(node.Range),
 		})
 	}
+	n.scr.tags = tags
+	scene.Tags = tags
 	return scene, nil
 }
 
@@ -194,7 +199,9 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 	if err != nil {
 		return nil, err
 	}
-	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
+	n.scr.mag = radar.MagnitudeMatrixInto(n.scr.mag, cm)
+	matrix, bg := radar.SubtractBackgroundMagInto(n.scr.mag, n.scr.bg)
+	n.scr.bg = bg
 	if n.tel.enabled() {
 		// Introspection only: the exchange decode path never consumes the
 		// range-Doppler map, so this runs solely to light up the Doppler
@@ -291,45 +298,55 @@ func countBitMismatches(sent, got []bool) int {
 // fundamentals always dominate another node's spectral splatter — and then
 // each node peaks only over the bins it owns.
 //
-// Every node's F0 and F1 signature profiles are computed concurrently
-// (each scan is itself bin-parallel inside the radar); a cancelled ctx
-// aborts the scan and returns ctx.Err().
+// Each tone scan is bin-parallel inside the radar, so the outer loop over
+// tones runs serially: nesting a second fan-out around it would contend for
+// the radar pool's worker-local scratch arenas without adding parallelism.
+// A cancelled ctx aborts between scans and returns ctx.Err().
 //
-// The returned diagnostics are populated for every node — on a failed
-// detection they describe the best candidate bin, so callers can see how
-// far below threshold the miss was.
+// The returned slices are network-owned scratch, valid until the next
+// detectNodes call; callers that keep them across exchanges must copy. The
+// diagnostics are populated for every node — on a failed detection they
+// describe the best candidate bin, so callers can see how far below
+// threshold the miss was.
 func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []float64) ([]radar.Detection, []radar.DetectionDiag, []error, error) {
 	nn := len(n.nodes)
-	dets := make([]radar.Detection, nn)
-	diags := make([]radar.DetectionDiag, nn)
-	errs := make([]error, nn)
+	dets := dsp.Resize(n.scr.dets, nn)
+	diags := dsp.Resize(n.scr.diags, nn)
+	errs := dsp.Resize(n.scr.errs, nn)
+	clear(dets)
+	clear(diags)
+	clear(errs)
+	n.scr.dets, n.scr.diags, n.scr.errs = dets, diags, errs
 	if nn == 0 {
 		return dets, diags, errs, nil
 	}
 	// tones[2j] and tones[2j+1] are node j's F0 and F1 profiles.
-	tones := make([][]float64, 2*nn)
-	if err := n.pool.ForContext(ctx, 2*nn, func(k int) error {
+	n.scr.tones = growRows(n.scr.tones, 2*nn)
+	tones := n.scr.tones[:2*nn]
+	for k := 0; k < 2*nn; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		node := n.nodes[k/2]
 		f := node.Uplink.F0
 		if k%2 == 1 {
 			f = node.Uplink.F1
 		}
-		tones[k] = n.radar.SignatureProfile(matrix, f, n.cfg.Period)
-		return nil
-	}); err != nil {
-		return nil, nil, nil, err
+		tones[k] = n.radar.SignatureProfileInto(tones[k], matrix, f, n.cfg.Period)
 	}
-	profs := make([][]float64, nn)
+	n.scr.profs = growRows(n.scr.profs, nn)
+	profs := n.scr.profs[:nn]
 	for j := range profs {
 		p0, p1 := tones[2*j], tones[2*j+1]
-		s := make([]float64, len(p0))
+		s := dsp.Resize(profs[j], len(p0))
 		for b := range s {
 			s[b] = p0[b] + p1[b]
 		}
 		profs[j] = s
 	}
 	nBins := len(profs[0])
-	owner := make([]int, nBins)
+	owner := dsp.Resize(n.scr.owner, nBins)
+	n.scr.owner = owner
 	for b := 0; b < nBins; b++ {
 		best := 0
 		for j := 1; j < nn; j++ {
@@ -342,7 +359,8 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 	binWidth := grid[1] - grid[0]
 	for j := range n.nodes {
 		prof := profs[j]
-		med := dsp.Median(prof)
+		med, ms := dsp.MedianWith(n.scr.med, prof)
+		n.scr.med = ms
 		bestBin, bestVal := -1, 0.0
 		for b := 0; b < nBins; b++ {
 			if owner[b] == j && prof[b] > bestVal {
@@ -353,19 +371,18 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 		if candBin < 0 {
 			candBin, _ = dsp.MaxIndex(prof)
 		}
-		diags[j] = radar.SignatureDiag(prof, candBin)
+		diags[j] = radar.SignatureDiagWithMedian(prof, candBin, med)
 		if bestBin < 0 || med <= 0 || bestVal < radar.DetectionThreshold*med {
 			errs[j] = radar.ErrTagNotFound
 			continue
 		}
 		delta := 0.0
 		if bestBin > 0 && bestBin < nBins-1 {
-			amps := []float64{
-				math.Sqrt(prof[bestBin-1]),
-				math.Sqrt(prof[bestBin]),
-				math.Sqrt(prof[bestBin+1]),
-			}
-			d, _ := dsp.ParabolicPeak(amps, 1)
+			var amps [3]float64
+			amps[0] = math.Sqrt(prof[bestBin-1])
+			amps[1] = math.Sqrt(prof[bestBin])
+			amps[2] = math.Sqrt(prof[bestBin+1])
+			d, _ := dsp.ParabolicPeak(amps[:], 1)
 			delta = d
 		}
 		dets[j] = radar.Detection{
@@ -406,7 +423,9 @@ func (n *Network) LocalizeContext(ctx context.Context, frame *fmcw.Frame, chirps
 	if err != nil {
 		return nil, err
 	}
-	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
+	n.scr.mag = radar.MagnitudeMatrixInto(n.scr.mag, cm)
+	matrix, bg := radar.SubtractBackgroundMagInto(n.scr.mag, n.scr.bg)
+	n.scr.bg = bg
 	dets, _, derrs, err := n.detectNodes(ctx, matrix, grid)
 	if err != nil {
 		return nil, err
@@ -416,7 +435,8 @@ func (n *Network) LocalizeContext(ctx context.Context, frame *fmcw.Frame, chirps
 			return nil, fmt.Errorf("core: node %d: %w", i, derr)
 		}
 	}
-	return dets, nil
+	// dets is detectNodes scratch; hand callers their own copy.
+	return append([]radar.Detection(nil), dets...), nil
 }
 
 // MapEnvironment runs a sensing frame and returns the radar's static-object

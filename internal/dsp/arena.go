@@ -1,0 +1,118 @@
+package dsp
+
+// Arena is a size-bucketed scratch allocator for the hot signal path. A
+// checkout (Complex/Float) hands out a zeroed slice backed by a reusable
+// buffer; Reset reclaims every slice checked out since the previous Reset.
+// After a few iterations of a steady-state workload the arena stops touching
+// the heap entirely: every checkout is served from a free bucket.
+//
+// Buckets are keyed by the power-of-two capacity that covers the request, so
+// a workload that mixes a few recurring sizes (per-chirp sample counts, the
+// range-FFT length, slow-time column heights) reuses a small, stable set of
+// buffers rather than one per distinct length.
+//
+// Ownership rules (DESIGN.md "Memory model"): the holder of an Arena owns
+// every slice it checks out until it calls Reset; after Reset those slices
+// must not be touched. An Arena is NOT safe for concurrent use — concurrent
+// hot loops get one arena per worker (see parallel.Pool.ForArena), each
+// reset by the pool after every loop index.
+type Arena struct {
+	cx       bucket[complex128]
+	fl       bucket[float64]
+	resident int // bytes of backing arrays ever allocated by this arena
+}
+
+// NewArena returns an empty arena. The zero value is also ready to use.
+func NewArena() *Arena { return &Arena{} }
+
+// bucket holds the free and checked-out slices of one element type. Free
+// slices are grouped by capacity (always a power of two); checked-out slices
+// are remembered at full capacity so Reset can rebucket them.
+type bucket[T any] struct {
+	free map[int][][]T
+	out  [][]T
+}
+
+// take returns a slice of length n (capacity NextPowerOfTwo(n)) from the
+// free buckets, allocating a fresh buffer only when the bucket is empty.
+func (b *bucket[T]) take(n int) (s []T, fresh bool) {
+	k := NextPowerOfTwo(n)
+	if lst := b.free[k]; len(lst) > 0 {
+		s = lst[len(lst)-1]
+		b.free[k] = lst[:len(lst)-1]
+	} else {
+		s = make([]T, k)
+		fresh = true
+	}
+	b.out = append(b.out, s)
+	return s[:n], fresh
+}
+
+// reset moves every checked-out slice back to its capacity bucket.
+func (b *bucket[T]) reset() {
+	if len(b.out) == 0 {
+		return
+	}
+	if b.free == nil {
+		b.free = make(map[int][][]T)
+	}
+	for _, s := range b.out {
+		b.free[cap(s)] = append(b.free[cap(s)], s)
+	}
+	b.out = b.out[:0]
+}
+
+// Complex checks out a zeroed []complex128 of length n, valid until the next
+// Reset. n <= 0 returns nil.
+func (a *Arena) Complex(n int) []complex128 {
+	if n <= 0 {
+		return nil
+	}
+	s, fresh := a.cx.take(n)
+	if fresh {
+		a.resident += cap(s) * 16
+	}
+	clear(s)
+	return s
+}
+
+// Float checks out a zeroed []float64 of length n, valid until the next
+// Reset. n <= 0 returns nil.
+func (a *Arena) Float(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	s, fresh := a.fl.take(n)
+	if fresh {
+		a.resident += cap(s) * 8
+	}
+	clear(s)
+	return s
+}
+
+// Reset reclaims every slice checked out since the previous Reset. The
+// caller must not touch those slices afterwards.
+func (a *Arena) Reset() {
+	a.cx.reset()
+	a.fl.reset()
+}
+
+// HighWaterBytes reports the total bytes of backing arrays this arena has
+// allocated. Buffers are never freed, so this is both the footprint and the
+// high-water mark; on a steady-state workload it stabilizes after the first
+// few iterations — a growing value is a leak (checkouts that outpace Resets
+// or an unbounded spread of request sizes).
+func (a *Arena) HighWaterBytes() int { return a.resident }
+
+// Resize returns a slice of length n, reusing s's backing array when its
+// capacity suffices and allocating (with power-of-two capacity, so repeated
+// small growth settles quickly) otherwise. The contents are unspecified:
+// callers must overwrite or clear every element they read. It is the
+// grow-in-place primitive behind the persistent per-object scratch buffers
+// (radar rows, decoder envelopes, exchange tables).
+func Resize[T any](s []T, n int) []T {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]T, n, NextPowerOfTwo(n))
+}

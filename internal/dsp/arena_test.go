@@ -1,0 +1,168 @@
+package dsp
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaCheckoutLengthsAndZeroing(t *testing.T) {
+	a := NewArena()
+	c := a.Complex(100)
+	if len(c) != 100 || cap(c) != 128 {
+		t.Fatalf("Complex(100): len=%d cap=%d, want 100/128", len(c), cap(c))
+	}
+	f := a.Float(7)
+	if len(f) != 7 || cap(f) != 8 {
+		t.Fatalf("Float(7): len=%d cap=%d, want 7/8", len(f), cap(f))
+	}
+	for i := range c {
+		if c[i] != 0 {
+			t.Fatalf("Complex checkout not zeroed at %d", i)
+		}
+	}
+	if a.Complex(0) != nil || a.Float(-3) != nil {
+		t.Fatalf("non-positive checkout should return nil")
+	}
+}
+
+// TestArenaReuseReturnsZeroedMemory is the satellite-task pin: after dirtying
+// a checkout and resetting, a second checkout of the same size must return
+// the same backing array (reuse) with every element zeroed.
+func TestArenaReuseReturnsZeroedMemory(t *testing.T) {
+	a := NewArena()
+	c1 := a.Complex(64)
+	for i := range c1 {
+		c1[i] = complex(float64(i), 1)
+	}
+	f1 := a.Float(48)
+	for i := range f1 {
+		f1[i] = float64(i) + 0.5
+	}
+	a.Reset()
+	c2 := a.Complex(64)
+	f2 := a.Float(48)
+	if &c1[0] != &c2[0] {
+		t.Fatalf("Complex(64) after Reset did not reuse the buffer")
+	}
+	if &f1[0] != &f2[0] {
+		t.Fatalf("Float(48) after Reset did not reuse the buffer")
+	}
+	for i := range c2 {
+		if c2[i] != 0 {
+			t.Fatalf("reused Complex checkout not zeroed at %d: %v", i, c2[i])
+		}
+	}
+	for i := range f2 {
+		if f2[i] != 0 {
+			t.Fatalf("reused Float checkout not zeroed at %d: %v", i, f2[i])
+		}
+	}
+	// A smaller request must be served from the same power-of-two bucket.
+	a.Reset()
+	c3 := a.Complex(40)
+	if &c3[0] != &c1[0] {
+		t.Fatalf("Complex(40) should reuse the 64-capacity bucket")
+	}
+}
+
+func TestArenaSteadyStateAllocFree(t *testing.T) {
+	a := NewArena()
+	// Warm the buckets, including the lazy free-map allocations.
+	for i := 0; i < 3; i++ {
+		a.Complex(1024)
+		a.Float(512)
+		a.Float(64)
+		a.Reset()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c := a.Complex(1024)
+		f := a.Float(512)
+		g := a.Float(64)
+		c[0] = 1
+		f[0] = 1
+		g[0] = 1
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena cycle allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestArenaHighWaterStabilizes(t *testing.T) {
+	a := NewArena()
+	var after1 int
+	for iter := 0; iter < 100; iter++ {
+		// A workload shaped like the per-chirp pipeline: one FFT buffer, two
+		// component vectors, two resampled vectors, a few slow-time columns.
+		a.Complex(4096)
+		a.Float(4096)
+		a.Float(4096)
+		a.Float(512)
+		a.Float(512)
+		for b := 0; b < 8; b++ {
+			a.Float(64)
+		}
+		a.Reset()
+		if iter == 0 {
+			after1 = a.HighWaterBytes()
+		}
+	}
+	if a.HighWaterBytes() != after1 {
+		t.Fatalf("high-water mark grew across iterations: %d after 1, %d after 100",
+			after1, a.HighWaterBytes())
+	}
+	if after1 == 0 {
+		t.Fatalf("high-water mark should be nonzero after checkouts")
+	}
+}
+
+// TestArenaConcurrentArenas exercises the worker-local usage pattern under
+// -race: many goroutines, each with its own arena, checking out and resetting
+// concurrently. Arenas are not shared, so this must be race-free.
+func TestArenaConcurrentArenas(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			a := NewArena()
+			for i := 0; i < 200; i++ {
+				n := 16 << (uint(seed+i) % 5)
+				c := a.Complex(n)
+				f := a.Float(n / 2)
+				for j := range c {
+					c[j] = complex(float64(j), 0)
+				}
+				for j := range f {
+					f[j] = float64(j)
+				}
+				a.Reset()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestResize(t *testing.T) {
+	s := Resize[float64](nil, 10)
+	if len(s) != 10 || cap(s) != 16 {
+		t.Fatalf("Resize(nil, 10): len=%d cap=%d, want 10/16", len(s), cap(s))
+	}
+	s[3] = 42
+	grown := Resize(s, 12)
+	if len(grown) != 12 || &grown[0] != &s[0] {
+		t.Fatalf("Resize within capacity must reuse the backing array")
+	}
+	shrunk := Resize(grown, 4)
+	if len(shrunk) != 4 || &shrunk[0] != &s[0] {
+		t.Fatalf("Resize shrink must reuse the backing array")
+	}
+	big := Resize(shrunk, 100)
+	if len(big) != 100 || cap(big) != 128 {
+		t.Fatalf("Resize growth: len=%d cap=%d, want 100/128", len(big), cap(big))
+	}
+	empty := Resize(big, 0)
+	if len(empty) != 0 {
+		t.Fatalf("Resize to 0 should have length 0")
+	}
+}

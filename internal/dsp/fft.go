@@ -94,6 +94,10 @@ func PlanFor(n int) (*FFTPlan, error) {
 
 // Forward computes the forward DFT of src into a newly allocated slice.
 // len(src) must equal the plan size.
+//
+// Test/oracle use only: every production caller goes through ForwardInto
+// with caller-owned scratch so the per-chirp hot loops stay allocation-free.
+// Keep this wrapper for tests and one-off tooling.
 func (p *FFTPlan) Forward(src []complex128) []complex128 {
 	dst := make([]complex128, p.n)
 	p.ForwardInto(dst, src)
@@ -114,6 +118,9 @@ func (p *FFTPlan) ForwardInto(dst, src []complex128) {
 
 // Inverse computes the inverse DFT (with 1/n normalization) of src into a new
 // slice.
+//
+// Test/oracle use only, like Forward: production code uses InverseInto with
+// its own scratch.
 func (p *FFTPlan) Inverse(src []complex128) []complex128 {
 	dst := make([]complex128, p.n)
 	p.InverseInto(dst, src)
@@ -185,7 +192,9 @@ func IFFT(src []complex128) []complex128 {
 	if err != nil {
 		panic(err)
 	}
-	return plan.Inverse(src)
+	dst := make([]complex128, len(src))
+	plan.InverseInto(dst, src)
+	return dst
 }
 
 // FFTReal transforms a real-valued signal, zero-padding to the next power of

@@ -109,7 +109,14 @@ func (f *FIRFilter) ProcessBlock(x []float64) []float64 {
 // MovingAverage smooths x with a centered moving average of the given odd
 // width, reflecting at the edges. width <= 1 returns a copy.
 func MovingAverage(x []float64, width int) []float64 {
-	out := make([]float64, len(x))
+	return MovingAverageInto(nil, x, width)
+}
+
+// MovingAverageInto is MovingAverage writing into dst, which is grown as
+// needed (pass the returned slice back in to reuse it). dst must not alias
+// x: the smoothing reads x while writing dst.
+func MovingAverageInto(dst, x []float64, width int) []float64 {
+	out := Resize(dst, len(x))
 	if width <= 1 || len(x) == 0 {
 		copy(out, x)
 		return out

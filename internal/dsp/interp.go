@@ -43,12 +43,22 @@ func LinearInterp(xs, ys []float64, x float64) float64 {
 // srcX[i] = srcStart + i·srcStep) onto the query grid dstX using pairwise
 // linear interpolation, writing the result into a new slice.
 func ResampleLinear(ys []float64, srcStart, srcStep float64, dstX []float64) []float64 {
+	return ResampleLinearInto(make([]float64, len(dstX)), ys, srcStart, srcStep, dstX)
+}
+
+// ResampleLinearInto is ResampleLinear writing into dst, which must have
+// length len(dstX) and must not alias ys. It returns dst.
+func ResampleLinearInto(dst, ys []float64, srcStart, srcStep float64, dstX []float64) []float64 {
 	if srcStep <= 0 {
 		panic(fmt.Sprintf("dsp: ResampleLinear requires srcStep > 0, got %v", srcStep))
 	}
-	out := make([]float64, len(dstX))
+	if len(dst) != len(dstX) {
+		panic("dsp: ResampleLinearInto length mismatch")
+	}
+	out := dst
 	n := len(ys)
 	if n == 0 {
+		clear(out)
 		return out
 	}
 	for i, x := range dstX {
@@ -74,12 +84,24 @@ func ResampleLinear(ys []float64, srcStart, srcStep float64, dstX []float64) []f
 // O(Δ²) to O(Δ⁴) — which matters when resampled strong-clutter profiles are
 // subtracted across chirps and the residue must stay below a weak tag echo.
 func ResampleCubic(ys []float64, srcStart, srcStep float64, dstX []float64) []float64 {
+	return ResampleCubicInto(make([]float64, len(dstX)), ys, srcStart, srcStep, dstX)
+}
+
+// ResampleCubicInto is ResampleCubic writing into dst, which must have
+// length len(dstX) and must not alias ys. It returns dst. This is the
+// per-chirp IF-correction primitive, so the hot path feeds it worker-arena
+// scratch instead of allocating two NFFT-sized vectors per chirp.
+func ResampleCubicInto(dst, ys []float64, srcStart, srcStep float64, dstX []float64) []float64 {
 	if srcStep <= 0 {
 		panic(fmt.Sprintf("dsp: ResampleCubic requires srcStep > 0, got %v", srcStep))
 	}
-	out := make([]float64, len(dstX))
+	if len(dst) != len(dstX) {
+		panic("dsp: ResampleCubicInto length mismatch")
+	}
+	out := dst
 	n := len(ys)
 	if n == 0 {
+		clear(out)
 		return out
 	}
 	at := func(i int) float64 {
@@ -190,6 +212,13 @@ func FindPeaks(x []float64, threshold float64) []Peak {
 // Autocorrelation returns the biased autocorrelation of x for lags
 // 0..maxLag inclusive: r[l] = Σ x[i]·x[i+l] / n.
 func Autocorrelation(x []float64, maxLag int) []float64 {
+	return AutocorrelationInto(nil, x, maxLag)
+}
+
+// AutocorrelationInto is Autocorrelation writing into dst, which is grown as
+// needed (pass the returned slice back in to reuse it). dst must not alias
+// x.
+func AutocorrelationInto(dst, x []float64, maxLag int) []float64 {
 	if maxLag >= len(x) {
 		maxLag = len(x) - 1
 	}
@@ -197,7 +226,7 @@ func Autocorrelation(x []float64, maxLag int) []float64 {
 		return nil
 	}
 	n := float64(len(x))
-	r := make([]float64, maxLag+1)
+	r := Resize(dst, maxLag+1)
 	for lag := 0; lag <= maxLag; lag++ {
 		var acc float64
 		for i := 0; i+lag < len(x); i++ {

@@ -1,16 +1,25 @@
 package dsp
 
-import "sort"
+import "slices"
 
 // Median returns the upper median of x (element n/2 of the sorted order)
 // without modifying x, and 0 for an empty slice. Both the radar's matched-
 // filter detector and the network core's joint multi-node search use it as
 // the noise-floor estimate of a signature profile.
 func Median(x []float64) float64 {
+	m, _ := MedianWith(nil, x)
+	return m
+}
+
+// MedianWith is Median with caller-provided sort scratch so hot loops skip
+// the per-call copy: scratch is grown as needed and returned for reuse. x
+// itself is never modified.
+func MedianWith(scratch, x []float64) (float64, []float64) {
 	if len(x) == 0 {
-		return 0
+		return 0, scratch
 	}
-	cp := append([]float64(nil), x...)
-	sort.Float64s(cp)
-	return cp[len(cp)/2]
+	scratch = Resize(scratch, len(x))
+	copy(scratch, x)
+	slices.Sort(scratch)
+	return scratch[len(scratch)/2], scratch
 }

@@ -38,7 +38,18 @@ func Window(kind WindowKind, n int) []float64 {
 	if n <= 0 {
 		panic("dsp: Window requires n > 0")
 	}
-	w := make([]float64, n)
+	return WindowInto(make([]float64, n), kind)
+}
+
+// WindowInto fills dst with the len(dst) window coefficients for the given
+// kind (periodic convention) and returns dst — the allocation-free variant
+// of Window for hot loops that hold their own scratch.
+func WindowInto(dst []float64, kind WindowKind) []float64 {
+	n := len(dst)
+	if n <= 0 {
+		panic("dsp: WindowInto requires len(dst) > 0")
+	}
+	w := dst
 	switch kind {
 	case WindowRect:
 		for i := range w {

@@ -12,6 +12,12 @@
 // share mutable state across indices; under that contract the result is
 // byte-identical for any worker count, because only the execution order
 // varies.
+//
+// For loops that need per-index scratch memory, ForArena/ForContextArena
+// hand each worker its own pool-owned dsp.Arena: checkouts are lock-free on
+// the hot path (no worker shares an arena) and every buffer is reclaimed
+// after each index, so a steady-state loop touches the heap only on its
+// first iterations.
 package parallel
 
 import (
@@ -21,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"biscatter/internal/dsp"
 	"biscatter/internal/telemetry"
 )
 
@@ -29,7 +36,21 @@ import (
 type Pool struct {
 	workers int
 	stats   *poolStats
+
+	// arenas are the pool-owned worker-local scratch arenas handed out by
+	// ForArena/ForContextArena; arenas[g] belongs to worker g for the
+	// duration of one loop. arenasBusy guards against overlapping arena
+	// loops on the same pool (legal but rare — e.g. a caller running two
+	// pool loops from different goroutines); the loser of the CAS borrows
+	// arenas from the package-level spare pool instead, trading a few
+	// allocations for correctness.
+	arenas     []*dsp.Arena
+	arenasBusy atomic.Bool
 }
+
+// spareArenas backs the fallback path when a pool's own arenas are already
+// checked out by a concurrently running loop.
+var spareArenas = sync.Pool{New: func() any { return dsp.NewArena() }}
 
 // poolStats holds the pool's pre-resolved telemetry handles. All fields are
 // nil-tolerant telemetry primitives, but the pool additionally gates on the
@@ -93,10 +114,54 @@ func (p *Pool) width(n int) int {
 	return w
 }
 
-// instrument wraps fn with per-task telemetry when the pool is
-// instrumented: queue wait (loop entry → claim), task duration, busy gauge
-// and completion count. Returns fn unchanged on an uninstrumented pool.
-func (p *Pool) instrument(n, width int, fn func(i int)) func(i int) {
+// acquireArenas hands out w worker-local arenas for one loop. The common
+// case takes the pool's own arenas (growing the set on first use); if
+// another loop on this pool currently holds them, fresh arenas are borrowed
+// from the package spare pool. owned reports which case applied.
+func (p *Pool) acquireArenas(w int) (arenas []*dsp.Arena, owned bool) {
+	if p.arenasBusy.CompareAndSwap(false, true) {
+		for len(p.arenas) < w {
+			p.arenas = append(p.arenas, dsp.NewArena())
+		}
+		return p.arenas[:w], true
+	}
+	arenas = make([]*dsp.Arena, w)
+	for i := range arenas {
+		arenas[i] = spareArenas.Get().(*dsp.Arena)
+	}
+	return arenas, false
+}
+
+// releaseArenas returns arenas acquired by acquireArenas. Pool-owned arenas
+// are kept (their buckets persist across loops — that is the whole point);
+// borrowed spares go back to the package pool reset.
+func (p *Pool) releaseArenas(arenas []*dsp.Arena, owned bool) {
+	if owned {
+		p.arenasBusy.Store(false)
+		return
+	}
+	for _, a := range arenas {
+		a.Reset()
+		spareArenas.Put(a)
+	}
+}
+
+// ArenaFootprintBytes sums the high-water marks of the pool-owned worker
+// arenas — the resident scratch memory the pool has accumulated. It is a
+// diagnostic for leak tests and must not race a running arena loop.
+func (p *Pool) ArenaFootprintBytes() int {
+	total := 0
+	for _, a := range p.arenas {
+		total += a.HighWaterBytes()
+	}
+	return total
+}
+
+// instrument wraps a worker-indexed fn with per-task telemetry when the
+// pool is instrumented: queue wait (loop entry → claim), task duration, busy
+// gauge and completion count. Returns fn unchanged on an uninstrumented
+// pool.
+func (p *Pool) instrument(n, width int, fn func(g, i int)) func(g, i int) {
 	st := p.stats
 	if st == nil {
 		return fn
@@ -104,26 +169,46 @@ func (p *Pool) instrument(n, width int, fn func(i int)) func(i int) {
 	st.queued.Add(int64(n))
 	st.width.Set(float64(width))
 	start := time.Now()
-	return func(i int) {
+	return func(g, i int) {
 		claimed := time.Now()
 		st.wait.Observe(claimed.Sub(start).Seconds())
 		st.busy.Add(1)
-		fn(i)
+		fn(g, i)
 		st.busy.Add(-1)
 		st.duration.Observe(time.Since(claimed).Seconds())
 		st.completed.Inc()
 	}
 }
 
-// For runs fn(i) for every i in [0, n), spread across the pool's workers,
-// and returns when all calls have finished. With one worker (or one index)
-// it degenerates to a plain loop.
-func (p *Pool) For(n int, fn func(i int)) {
-	w := p.width(n)
-	fn = p.instrument(n, w, fn)
+// instrumentErr is instrument for error-returning fns (the ForContext
+// variants).
+func (p *Pool) instrumentErr(n, width int, fn func(g, i int) error) func(g, i int) error {
+	st := p.stats
+	if st == nil {
+		return fn
+	}
+	st.queued.Add(int64(n))
+	st.width.Set(float64(width))
+	start := time.Now()
+	return func(g, i int) error {
+		claimed := time.Now()
+		st.wait.Observe(claimed.Sub(start).Seconds())
+		st.busy.Add(1)
+		err := fn(g, i)
+		st.busy.Add(-1)
+		st.duration.Observe(time.Since(claimed).Seconds())
+		st.completed.Inc()
+		return err
+	}
+}
+
+// run executes fn(g, i) for every i in [0, n) across w workers; worker g
+// claims indices from a shared atomic counter. w <= 1 degenerates to a
+// plain loop on worker 0.
+func (p *Pool) run(n, w int, fn func(g, i int)) {
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -131,53 +216,29 @@ func (p *Pool) For(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(g, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 }
 
-// ForContext is For with cooperative cancellation and error propagation:
-// workers stop claiming new indices as soon as ctx is done or any fn call
-// returns an error. In-flight calls run to completion (fn is never
-// interrupted mid-index), then ForContext returns the first fn error, or
-// ctx.Err() when the context ended the loop early. A context that is
-// already done returns immediately without calling fn.
-func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	w := p.width(n)
-	if st := p.stats; st != nil {
-		inner := fn
-		st.queued.Add(int64(n))
-		st.width.Set(float64(w))
-		start := time.Now()
-		fn = func(i int) error {
-			claimed := time.Now()
-			st.wait.Observe(claimed.Sub(start).Seconds())
-			st.busy.Add(1)
-			err := inner(i)
-			st.busy.Add(-1)
-			st.duration.Observe(time.Since(claimed).Seconds())
-			st.completed.Inc()
-			return err
-		}
-	}
+// runContext is run with cooperative cancellation and error propagation;
+// see ForContext for the contract.
+func (p *Pool) runContext(ctx context.Context, n, w int, fn func(g, i int) error) error {
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -192,7 +253,7 @@ func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) erro
 	)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for {
 				if stop.Load() || ctx.Err() != nil {
@@ -202,7 +263,7 @@ func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) erro
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(g, i); err != nil {
 					mu.Lock()
 					if callErr == nil {
 						callErr = err
@@ -212,11 +273,71 @@ func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) erro
 					return
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if callErr != nil {
 		return callErr
 	}
 	return ctx.Err()
+}
+
+// For runs fn(i) for every i in [0, n), spread across the pool's workers,
+// and returns when all calls have finished. With one worker (or one index)
+// it degenerates to a plain loop.
+func (p *Pool) For(n int, fn func(i int)) {
+	w := p.width(n)
+	body := p.instrument(n, w, func(_, i int) { fn(i) })
+	p.run(n, w, body)
+}
+
+// ForArena is For with worker-local scratch: fn additionally receives the
+// claiming worker's dsp.Arena, from which it may check out slices that are
+// valid for that one index — the pool resets the arena after every fn
+// return. No locking happens on the checkout path because no two workers
+// ever share an arena. The arenas (and their buffers) are pool-owned and
+// persist across loops, so steady-state iterations allocate nothing.
+func (p *Pool) ForArena(n int, fn func(i int, a *dsp.Arena)) {
+	w := p.width(n)
+	arenas, owned := p.acquireArenas(w)
+	defer p.releaseArenas(arenas, owned)
+	body := p.instrument(n, w, func(g, i int) {
+		a := arenas[g]
+		fn(i, a)
+		a.Reset()
+	})
+	p.run(n, w, body)
+}
+
+// ForContext is For with cooperative cancellation and error propagation:
+// workers stop claiming new indices as soon as ctx is done or any fn call
+// returns an error. In-flight calls run to completion (fn is never
+// interrupted mid-index), then ForContext returns the first fn error, or
+// ctx.Err() when the context ended the loop early. A context that is
+// already done returns immediately without calling fn.
+func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := p.width(n)
+	body := p.instrumentErr(n, w, func(_, i int) error { return fn(i) })
+	return p.runContext(ctx, n, w, body)
+}
+
+// ForContextArena is ForContext with the worker-local scratch arenas of
+// ForArena: per-index checkouts, reset by the pool after every fn return.
+func (p *Pool) ForContextArena(ctx context.Context, n int, fn func(i int, a *dsp.Arena) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := p.width(n)
+	arenas, owned := p.acquireArenas(w)
+	defer p.releaseArenas(arenas, owned)
+	body := p.instrumentErr(n, w, func(g, i int) error {
+		a := arenas[g]
+		err := fn(i, a)
+		a.Reset()
+		return err
+	})
+	return p.runContext(ctx, n, w, body)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"biscatter/internal/dsp"
 	"biscatter/internal/telemetry"
 )
 
@@ -171,4 +172,140 @@ func TestInstrumentNilRegistryIsNoop(t *testing.T) {
 		t.Fatal("nil registry must leave the pool uninstrumented")
 	}
 	p.For(10, func(int) {})
+}
+
+// TestForArenaWorkerLocalScratch runs an arena loop at several widths under
+// -race: every index checks out scratch, fills it, and verifies it was handed
+// a zeroed view. Distinct workers never share an arena, so this must be
+// race-free, and results written by index must match the serial reference.
+func TestForArenaWorkerLocalScratch(t *testing.T) {
+	const n = 500
+	ref := make([]float64, n)
+	for _, workers := range []int{1, 4, 8} {
+		out := make([]float64, n)
+		New(workers).ForArena(n, func(i int, a *dsp.Arena) {
+			size := 16 + i%37
+			f := a.Float(size)
+			c := a.Complex(size / 2)
+			for j := range f {
+				if f[j] != 0 {
+					t.Errorf("workers=%d index %d: dirty float scratch", workers, i)
+					return
+				}
+				f[j] = float64(i + j)
+			}
+			for j := range c {
+				c[j] = complex(float64(i), float64(j))
+			}
+			out[i] = f[size-1] + real(c[0])
+		})
+		if workers == 1 {
+			copy(ref, out)
+			continue
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: index %d = %v, want %v", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForArenaSteadyStateAllocFree(t *testing.T) {
+	p := New(1)
+	const n = 64
+	// Warm the pool-owned arena buckets.
+	for i := 0; i < 3; i++ {
+		p.ForArena(n, func(i int, a *dsp.Arena) {
+			a.Float(128)[0] = 1
+			a.Complex(256)[0] = 1
+		})
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		p.ForArena(n, func(i int, a *dsp.Arena) {
+			a.Float(128)[0] = 1
+			a.Complex(256)[0] = 1
+		})
+	})
+	// The serial path may still allocate the loop-body closures, but the per-
+	// index checkouts must be free: anything beyond a few allocs per loop
+	// means the arena path regressed.
+	if allocs > 4 {
+		t.Fatalf("steady-state ForArena allocated %v times per loop, want <= 4", allocs)
+	}
+}
+
+func TestForContextArenaPropagatesErrorsAndCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	err := New(4).ForContextArena(context.Background(), 1000, func(i int, a *dsp.Arena) error {
+		if a.Float(8) == nil {
+			return errors.New("nil scratch")
+		}
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err = New(4).ForContextArena(ctx, 10, func(i int, a *dsp.Arena) error {
+		called = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("fn was called under a cancelled context")
+	}
+}
+
+// TestForArenaOverlappingLoops drives two arena loops on the same pool from
+// concurrent goroutines under -race: the second loop must fall back to
+// borrowed spare arenas rather than sharing the pool-owned set.
+func TestForArenaOverlappingLoops(t *testing.T) {
+	p := New(2)
+	start := make(chan struct{})
+	done := make(chan struct{}, 2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			<-start
+			for rep := 0; rep < 20; rep++ {
+				p.ForArena(100, func(i int, a *dsp.Arena) {
+					f := a.Float(64)
+					for j := range f {
+						f[j] = float64(i + j)
+					}
+				})
+			}
+			done <- struct{}{}
+		}()
+	}
+	close(start)
+	<-done
+	<-done
+}
+
+func TestArenaFootprintStabilizes(t *testing.T) {
+	p := New(2)
+	var after2 int
+	for iter := 0; iter < 50; iter++ {
+		p.ForArena(256, func(i int, a *dsp.Arena) {
+			a.Complex(4096)
+			a.Float(512)
+		})
+		if iter == 1 {
+			after2 = p.ArenaFootprintBytes()
+		}
+	}
+	if got := p.ArenaFootprintBytes(); got != after2 {
+		t.Fatalf("pool arena footprint grew: %d after 2 loops, %d after 50", after2, got)
+	}
+	if after2 == 0 {
+		t.Fatal("pool arena footprint should be nonzero after arena loops")
+	}
 }

@@ -1,0 +1,45 @@
+package radar
+
+import (
+	"testing"
+
+	"biscatter/internal/channel"
+)
+
+// TestRadarArenaFootprintStabilizes drives the full receive pipeline
+// repeatedly and checks the pool's worker-arena footprint: it must reach
+// its high-water mark within the first frames and stay flat — growth after
+// warm-up means some per-chirp or per-bin checkout escapes its reset.
+func TestRadarArenaFootprintStabilizes(t *testing.T) {
+	r := testRadar(t, 90)
+	b := testBuilder(t)
+	const nChirps = 64
+	const fMod = 2e3
+	scene := Scene{
+		Clutter: channel.OfficeClutter(),
+		Tags:    []TagEcho{{Range: 3.0, States: toneStates(fMod, nChirps), PowerDBm: -95}},
+	}
+	var after2 int
+	for iter := 0; iter < 20; iter++ {
+		frame, err := b.BuildUniform(nChirps, 60e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := r.Observe(frame, scene)
+		cm, grid := r.CorrectedMatrix(cap)
+		matrix := SubtractBackgroundMag(MagnitudeMatrix(cm))
+		if _, err := r.DetectTag(matrix, grid, fMod, tPeriod); err != nil {
+			t.Fatal(err)
+		}
+		if iter == 1 {
+			after2 = r.pool.ArenaFootprintBytes()
+		}
+	}
+	got := r.pool.ArenaFootprintBytes()
+	if got != after2 {
+		t.Fatalf("radar arena footprint grew after warm-up: %d B after 2 frames, %d B after 20", after2, got)
+	}
+	if after2 == 0 {
+		t.Fatal("radar arena footprint is zero; the pipeline is not using the pool arenas")
+	}
+}

@@ -59,12 +59,22 @@ type DetectionDiag struct {
 // profile and a candidate peak bin. A bin outside the profile yields the
 // zero diagnostics.
 func SignatureDiag(prof []float64, bin int) DetectionDiag {
+	if bin < 0 || bin >= len(prof) {
+		return DetectionDiag{PeakBin: bin}
+	}
+	return SignatureDiagWithMedian(prof, bin, dsp.Median(prof))
+}
+
+// SignatureDiagWithMedian is SignatureDiag for callers that already hold the
+// profile's median power (the detection loops compute it for thresholding
+// anyway), skipping the sort-copy a second median would cost.
+func SignatureDiagWithMedian(prof []float64, bin int, median float64) DetectionDiag {
 	d := DetectionDiag{PeakBin: bin}
 	if bin < 0 || bin >= len(prof) {
 		return d
 	}
 	d.PeakPower = prof[bin]
-	d.MedianPower = dsp.Median(prof)
+	d.MedianPower = median
 	side := 0.0
 	for b, v := range prof {
 		if (b < bin-SidelobeGuard || b > bin+SidelobeGuard) && v > side {
@@ -84,9 +94,16 @@ func SignatureDiag(prof []float64, bin int) DetectionDiag {
 // stay aligned after IF correction — static clutter contributes only DC and
 // the tag's switching contributes the modulation tone.
 func MagnitudeMatrix(matrix [][]complex128) [][]float64 {
-	out := make([][]float64, len(matrix))
+	return MagnitudeMatrixInto(nil, matrix)
+}
+
+// MagnitudeMatrixInto is MagnitudeMatrix writing into dst, growing it as
+// needed; pass the returned matrix back in to reuse its rows across frames.
+func MagnitudeMatrixInto(dst [][]float64, matrix [][]complex128) [][]float64 {
+	dst = ensureRows(dst, len(matrix))
+	out := dst[:len(matrix)]
 	for i, row := range matrix {
-		m := make([]float64, len(row))
+		m := dsp.Resize(out[i], len(row))
 		for j, v := range row {
 			m[j] = math.Hypot(real(v), imag(v))
 		}
@@ -99,24 +116,33 @@ func MagnitudeMatrix(matrix [][]complex128) [][]float64 {
 // every row in place and returns the matrix — the paper's first-chirp
 // background subtraction (§3.3) in the magnitude domain.
 func SubtractBackgroundMag(matrix [][]float64) [][]float64 {
+	m, _ := SubtractBackgroundMagInto(matrix, nil)
+	return m
+}
+
+// SubtractBackgroundMagInto is SubtractBackgroundMag with caller-provided
+// scratch for the background row snapshot; it returns the matrix and the
+// (possibly grown) scratch for reuse.
+func SubtractBackgroundMagInto(matrix [][]float64, bg []float64) ([][]float64, []float64) {
 	if len(matrix) == 0 {
-		return matrix
+		return matrix, bg
 	}
-	bg := append([]float64(nil), matrix[0]...)
+	bg = dsp.Resize(bg, len(matrix[0]))
+	copy(bg, matrix[0])
 	for i := range matrix {
 		for j := range matrix[i] {
 			matrix[i][j] -= bg[j]
 		}
 	}
-	return matrix
+	return matrix, bg
 }
 
 // slowTimeTonePower returns the power of the slow-time tone at the given
-// modulation frequency for one range bin of the magnitude matrix.
-func slowTimeTonePower(matrix [][]float64, bin int, fMod, chirpRate float64) float64 {
-	n := len(matrix)
-	col := make([]float64, n)
-	for i := 0; i < n; i++ {
+// modulation frequency for one range bin of the magnitude matrix. col is
+// caller scratch with capacity for one slow-time column (len(matrix)).
+func slowTimeTonePower(col []float64, matrix [][]float64, bin int, fMod, chirpRate float64) float64 {
+	col = col[:len(matrix)]
+	for i := range col {
 		col[i] = matrix[i][bin]
 	}
 	return dsp.GoertzelPower(col, fMod, chirpRate)
@@ -130,6 +156,13 @@ func slowTimeTonePower(matrix [][]float64, bin int, fMod, chirpRate float64) flo
 // bin is written by index, so the profile is identical for any worker
 // count.
 func (r *Radar) SignatureProfile(matrix [][]float64, fMod, period float64) []float64 {
+	return r.SignatureProfileInto(nil, matrix, fMod, period)
+}
+
+// SignatureProfileInto is SignatureProfile writing into dst (grown as
+// needed; pass the returned profile back in to reuse it). Per-bin slow-time
+// columns come from the claiming worker's arena.
+func (r *Radar) SignatureProfileInto(dst []float64, matrix [][]float64, fMod, period float64) []float64 {
 	sp := r.tel.matched.Span()
 	defer sp.End()
 	if len(matrix) == 0 {
@@ -137,9 +170,9 @@ func (r *Radar) SignatureProfile(matrix [][]float64, fMod, period float64) []flo
 	}
 	chirpRate := 1 / period
 	nBins := len(matrix[0])
-	out := make([]float64, nBins)
-	r.pool.For(nBins, func(b int) {
-		out[b] = slowTimeTonePower(matrix, b, fMod, chirpRate)
+	out := dsp.Resize(dst, nBins)
+	r.pool.ForArena(nBins, func(b int, a *dsp.Arena) {
+		out[b] = slowTimeTonePower(a.Float(len(matrix)), matrix, b, fMod, chirpRate)
 	})
 	return out
 }
@@ -226,10 +259,11 @@ func (r *Radar) DecodeUplinkFSK(matrix [][]float64, bin int, cfg UplinkFSKConfig
 	chirpRate := 1 / cfg.Period
 	nBits := len(matrix) / cfg.ChirpsPerBit
 	bits := make([]bool, 0, nBits)
+	col := make([]float64, cfg.ChirpsPerBit) // one column buffer for all windows
 	for w := 0; w < nBits; w++ {
 		sub := matrix[w*cfg.ChirpsPerBit : (w+1)*cfg.ChirpsPerBit]
-		p0 := slowTimeTonePower(sub, bin, cfg.F0, chirpRate)
-		p1 := slowTimeTonePower(sub, bin, cfg.F1, chirpRate)
+		p0 := slowTimeTonePower(col, sub, bin, cfg.F0, chirpRate)
+		p1 := slowTimeTonePower(col, sub, bin, cfg.F1, chirpRate)
 		bits = append(bits, p1 > p0)
 	}
 	return bits, nil
@@ -249,10 +283,11 @@ func (r *Radar) DecodeUplinkOOK(matrix [][]float64, bin int, fMod float64, chirp
 	chirpRate := 1 / period
 	nBits := len(matrix) / chirpsPerBit
 	powers := make([]float64, nBits)
+	col := make([]float64, chirpsPerBit)
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for w := 0; w < nBits; w++ {
 		sub := matrix[w*chirpsPerBit : (w+1)*chirpsPerBit]
-		p := slowTimeTonePower(sub, bin, fMod, chirpRate)
+		p := slowTimeTonePower(col, sub, bin, fMod, chirpRate)
 		powers[w] = p
 		lo = math.Min(lo, p)
 		hi = math.Max(hi, p)

@@ -29,13 +29,15 @@ func (r *Radar) EstimateVelocity(matrix [][]complex128, bin int, period float64)
 	if err != nil {
 		return 0, err
 	}
-	col := make([]complex128, nfft)
-	w := dsp.Window(dsp.WindowHann, n)
+	defer r.arena.Reset()
+	col := r.arena.Complex(nfft)
+	w := dsp.WindowInto(r.arena.Float(n), dsp.WindowHann)
 	for i := 0; i < n; i++ {
 		col[i] = matrix[i][bin] * complex(w[i], 0)
 	}
 	plan.ForwardInto(col, col)
-	mags := dsp.Magnitudes(col)
+	mags := r.arena.Float(nfft)
+	dsp.MagnitudesInto(mags, col)
 	idx, _ := dsp.MaxIndex(mags)
 	delta, _ := dsp.ParabolicPeak(mags, idx)
 	chirpRate := 1 / period

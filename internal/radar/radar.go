@@ -76,12 +76,51 @@ type Config struct {
 }
 
 // Radar is the receive-side processor.
+//
+// A Radar owns per-frame scratch buffers that are reused across calls (see
+// the ownership notes on ObserveContext and CorrectedMatrixContext), so a
+// single Radar must not process two frames concurrently — which was already
+// the contract, since the receiver noise comes from one seeded stream.
 type Radar struct {
 	cfg   Config
 	noise *channel.Noise
 	plan  *dsp.FFTPlan
 	pool  *parallel.Pool
 	tel   radarTel
+
+	// scr holds the frame-shaped buffers the hot pipeline reuses: scene
+	// scatterers, pre-drawn noise rows, the capture's IF rows and the
+	// corrected matrix rows. Rows grow to the largest frame seen and are
+	// never shrunk, so steady-state frames allocate nothing.
+	scr radarScratch
+	// arena backs the serial single-call scratch (Doppler estimation).
+	arena *dsp.Arena
+}
+
+// scatterer is one point reflector in the synthesized scene: static clutter
+// or a (modulating) tag echo.
+type scatterer struct {
+	rng float64
+	vel float64
+	amp float64
+	tag int // -1 for clutter, else index into scene.Tags
+}
+
+// radarScratch is the Radar's reusable per-frame buffer set.
+type radarScratch struct {
+	scats  []scatterer
+	noise  [][]complex128
+	ifRows [][]complex128
+	cmRows [][]complex128
+}
+
+// ensureRows grows rows to at least n entries (appending nil rows) without
+// ever shrinking, so row backing buffers persist across frames.
+func ensureRows[T any](rows [][]T, n int) [][]T {
+	for len(rows) < n {
+		rows = append(rows, nil)
+	}
+	return rows
 }
 
 // radarTel holds the radar's pre-resolved telemetry handles so the hot
@@ -145,6 +184,7 @@ func New(cfg Config) (*Radar, error) {
 		plan:  plan,
 		pool:  parallel.New(cfg.Workers).Instrument(cfg.Metrics),
 		tel:   newRadarTel(cfg.Metrics),
+		arena: dsp.NewArena(),
 	}, nil
 }
 
@@ -221,17 +261,17 @@ func (r *Radar) Observe(frame *fmcw.Frame, scene Scene) *Capture {
 // from the radar's single seeded source in chirp order before the fan-out,
 // so the capture is bit-identical for any worker count — and to the former
 // fully-serial implementation.
+//
+// Ownership: the capture's IF rows are radar-owned scratch, valid until the
+// next Observe/ObserveContext call on the same Radar. Callers that keep a
+// capture across frames must copy the rows.
 func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Scene) (*Capture, error) {
-	cap := &Capture{Frame: frame, IF: make([][]complex128, len(frame.Chirps))}
+	nChirps := len(frame.Chirps)
+	r.scr.ifRows = ensureRows(r.scr.ifRows, nChirps)
+	cap := &Capture{Frame: frame, IF: r.scr.ifRows[:nChirps]}
 	noiseSigma := math.Pow(10, channel.ThermalNoiseDBm(r.cfg.Chirp.SampleRate, r.cfg.Link.RadarNoiseFigureDB)/20)
 
-	type scatterer struct {
-		rng float64
-		vel float64
-		amp float64
-		tag int // -1 for clutter, else index into scene.Tags
-	}
-	var scats []scatterer
+	scats := r.scr.scats[:0]
 	for _, c := range scene.Clutter {
 		scats = append(scats, scatterer{
 			rng: c.Range,
@@ -248,28 +288,35 @@ func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Sce
 			tag: ti,
 		})
 	}
+	r.scr.scats = scats
 
 	// Pre-draw each chirp's noise sequentially: the RNG stream is consumed
 	// in exactly the order the serial loop consumed it, and the draws are
 	// added onto the synthesized echoes afterwards in the same order as
 	// before (echo sum first, noise last), keeping the capture bit-exact.
-	noiseBufs := make([][]complex128, len(frame.Chirps))
-	if noiseSigma > 0 {
+	// The noise rows persist across frames; AddComplex accumulates onto its
+	// argument, so each row is cleared before the fresh draw.
+	haveNoise := noiseSigma > 0
+	if haveNoise {
+		r.scr.noise = ensureRows(r.scr.noise, nChirps)
 		for i, c := range frame.Chirps {
-			nb := make([]complex128, c.Params.SamplesPerChirp())
+			nb := dsp.Resize(r.scr.noise[i], c.Params.SamplesPerChirp())
+			clear(nb)
 			r.noise.AddComplex(nb, noiseSigma)
-			noiseBufs[i] = nb
+			r.scr.noise[i] = nb
 		}
 	}
 
 	residual := math.Pow(10, AbsorptiveResidualDB/20)
 	fs := r.cfg.Chirp.SampleRate
-	err := r.pool.ForContext(ctx, len(frame.Chirps), func(i int) error {
+	err := r.pool.ForContext(ctx, nChirps, func(i int) error {
 		sp := r.tel.synthesis.Span()
 		defer sp.End()
 		c := frame.Chirps[i]
 		n := c.Params.SamplesPerChirp()
-		buf := make([]complex128, n)
+		buf := dsp.Resize(cap.IF[i], n)
+		clear(buf)
+		cap.IF[i] = buf
 		chirpStart := float64(i) * frame.Period
 		// A TX dropout silences the echo (entirely, or beyond a clipped
 		// prefix) while the receiver noise below stays untouched.
@@ -293,13 +340,13 @@ func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Sce
 				ph += dphi
 			}
 		}
-		if nb := noiseBufs[i]; nb != nil {
+		if haveNoise {
+			nb := r.scr.noise[i]
 			for k := range buf {
 				buf[k] += nb[k]
 			}
 		}
 		scene.Faults.Jam(buf, i)
-		cap.IF[i] = buf
 		return nil
 	})
 	if err != nil {
@@ -320,7 +367,14 @@ func geomPhase(rng, f0 float64) float64 {
 // range-domain width differently per CSSK slope and leak strong clutter
 // through background subtraction.
 func (r *Radar) rangeSpectrum(ifSamples []complex128, duration float64) []complex128 {
-	buf := make([]complex128, r.cfg.NFFT)
+	return r.rangeSpectrumInto(make([]complex128, r.cfg.NFFT), ifSamples, duration)
+}
+
+// rangeSpectrumInto is rangeSpectrum writing into dst, which must have
+// length NFFT and be zeroed beyond len(ifSamples) — arena checkouts and
+// freshly made buffers both satisfy that.
+func (r *Radar) rangeSpectrumInto(dst, ifSamples []complex128, duration float64) []complex128 {
+	buf := dst
 	n := len(ifSamples)
 	if n > r.cfg.NFFT {
 		n = r.cfg.NFFT
@@ -382,29 +436,36 @@ func (r *Radar) CorrectedMatrix(cap *Capture) ([][]complex128, []float64) {
 // CorrectedMatrixContext is CorrectedMatrix with cooperative cancellation.
 // Each chirp's range FFT and grid resampling is independent, so the rows
 // fan out across the worker pool and are written by index; the matrix is
-// byte-identical for any worker count.
+// byte-identical for any worker count. Per-chirp intermediates (the NFFT
+// spectrum and its split real/imag views) come from the claiming worker's
+// arena, so steady-state frames allocate nothing here.
+//
+// Ownership: the returned rows are radar-owned scratch, valid until the next
+// CorrectedMatrix/CorrectedMatrixContext call on the same Radar; callers
+// that keep a matrix across frames must copy it.
 func (r *Radar) CorrectedMatrixContext(ctx context.Context, cap *Capture) ([][]complex128, []float64, error) {
 	grid := r.RangeGrid(cap.Frame)
-	out := make([][]complex128, len(cap.IF))
-	err := r.pool.ForContext(ctx, len(cap.IF), func(i int) error {
+	r.scr.cmRows = ensureRows(r.scr.cmRows, len(cap.IF))
+	out := r.scr.cmRows[:len(cap.IF)]
+	err := r.pool.ForContextArena(ctx, len(cap.IF), func(i int, a *dsp.Arena) error {
 		c := cap.Frame.Chirps[i]
 		sp := r.tel.rangeFFT.Span()
-		spec := r.rangeSpectrum(cap.IF[i], c.Params.Duration)
+		spec := r.rangeSpectrumInto(a.Complex(r.cfg.NFFT), cap.IF[i], c.Params.Duration)
 		sp.End()
 		sp = r.tel.ifCorr.Span()
 		defer sp.End()
 		full := r.cfg.NFFT
-		re := make([]float64, full)
-		im := make([]float64, full)
+		re := a.Float(full)
+		im := a.Float(full)
 		for n := 0; n < full; n++ {
 			re[n] = real(spec[n])
 			im[n] = imag(spec[n])
 		}
 		rmax := r.maxRangeFor(c.Params.Duration)
 		step := rmax / float64(r.cfg.NFFT)
-		reG := dsp.ResampleCubic(re, 0, step, grid)
-		imG := dsp.ResampleCubic(im, 0, step, grid)
-		row := make([]complex128, len(grid))
+		reG := dsp.ResampleCubicInto(a.Float(len(grid)), re, 0, step, grid)
+		imG := dsp.ResampleCubicInto(a.Float(len(grid)), im, 0, step, grid)
+		row := dsp.Resize(out[i], len(grid))
 		for n := range grid {
 			row[n] = complex(reG[n], imG[n])
 		}
@@ -463,8 +524,8 @@ func (r *Radar) RangeDoppler(matrix [][]complex128) [][]float64 {
 	for d := range out {
 		out[d] = make([]float64, nBins)
 	}
-	r.pool.For(nBins, func(b int) {
-		col := make([]complex128, nfft)
+	r.pool.ForArena(nBins, func(b int, a *dsp.Arena) {
+		col := a.Complex(nfft)
 		for i := 0; i < nChirps; i++ {
 			col[i] = matrix[i][b]
 		}

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"biscatter/internal/cssk"
 	"biscatter/internal/dsp"
@@ -54,6 +54,9 @@ var (
 //  3. each chirp slot is classified against the CSSK constellation with a
 //     per-candidate matched window: the Goertzel power at the candidate
 //     beat over the candidate's own chirp duration.
+//
+// A Decoder reuses internal scratch buffers across calls and is therefore
+// not safe for concurrent use; give each goroutine its own Decoder.
 type Decoder struct {
 	// Alphabet is the agreed CSSK constellation.
 	Alphabet *cssk.Alphabet
@@ -61,6 +64,23 @@ type Decoder struct {
 	SampleRate float64
 	// Method selects Goertzel (default) or full-FFT classification.
 	Method Method
+
+	// scr holds capture-shaped scratch reused across decodes so the per-
+	// exchange pipeline stays allocation-free after warm-up.
+	scr decoderScratch
+}
+
+// decoderScratch is the decoder's reusable buffer set: the squared power
+// envelope, the two cascaded smoothing stages, the autocorrelation, and the
+// fold/sort buffers of the period search.
+type decoderScratch struct {
+	power  []float64
+	sm1    []float64
+	sm2    []float64
+	acorr  []float64
+	folded []float64
+	sorted []float64
+	counts []int
 }
 
 // NewDecoder builds a decoder.
@@ -104,15 +124,18 @@ func (d *Decoder) EstimatePeriod(x []float64) (float64, error) {
 	// Power envelope. The detector tone rides a 2·Δf ripple on top of the
 	// burst envelope; two cascaded moving averages (≈ triangular smoothing)
 	// suppress it while keeping the chirp-period fundamental.
-	power := make([]float64, len(x))
+	power := dsp.Resize(d.scr.power, len(x))
 	for i, v := range x {
 		power[i] = v * v
 	}
+	d.scr.power = power
 	smoothWidth := int(25e-6 * d.SampleRate)
 	if smoothWidth < 3 {
 		smoothWidth = 3
 	}
-	env := dsp.MovingAverage(dsp.MovingAverage(power, smoothWidth), smoothWidth)
+	d.scr.sm1 = dsp.MovingAverageInto(d.scr.sm1, power, smoothWidth)
+	env := dsp.MovingAverageInto(d.scr.sm2, d.scr.sm1, smoothWidth)
+	d.scr.sm2 = env
 	dsp.RemoveDC(env)
 	// Chirp periods of interest: 30 µs … 1 ms.
 	minLag := int(30e-6 * d.SampleRate)
@@ -126,7 +149,8 @@ func (d *Decoder) EstimatePeriod(x []float64) (float64, error) {
 	if maxLag <= minLag {
 		return 0, ErrTooShort
 	}
-	r := dsp.Autocorrelation(env, maxLag+1)
+	r := dsp.AutocorrelationInto(d.scr.acorr, env, maxLag+1)
+	d.scr.acorr = r
 	// The biased autocorrelation decays with lag, so the global maximum in
 	// range lands on the fundamental period rather than one of its
 	// multiples.
@@ -147,21 +171,23 @@ func (d *Decoder) EstimatePeriod(x []float64) (float64, error) {
 	// the smallest period whose contrast is close to the best.
 	minPeriod := float64(minLag)
 	type cand struct{ period, score float64 }
-	var cands []cand
+	var cands [8]cand
+	nCands := 0
 	bestScore := math.Inf(-1)
-	for m := 1; m <= 8; m++ {
+	for m := 1; m <= len(cands); m++ {
 		p0 := coarse / float64(m)
 		if p0 < minPeriod {
 			break
 		}
 		p := d.refinePeriod(power, p0)
-		s := foldContrast(power, p)
-		cands = append(cands, cand{p, s})
+		s := d.foldContrast(power, p)
+		cands[nCands] = cand{p, s}
+		nCands++
 		if s > bestScore {
 			bestScore = s
 		}
 	}
-	for i := len(cands) - 1; i >= 0; i-- {
+	for i := nCands - 1; i >= 0; i-- {
 		if cands[i].score >= 0.8*bestScore {
 			return cands[i].period, nil
 		}
@@ -179,14 +205,14 @@ func (d *Decoder) refinePeriod(power []float64, p0 float64) float64 {
 		return p0
 	}
 	for p := p0 - span; p <= p0+span; p += step {
-		if s := foldContrast(power, p); s > bestScore {
+		if s := d.foldContrast(power, p); s > bestScore {
 			bestScore, best = s, p
 		}
 	}
 	// Second, finer pass around the winner.
 	p1 := best
 	for p := p1 - step; p <= p1+step; p += step / 10 {
-		if s := foldContrast(power, p); s > bestScore {
+		if s := d.foldContrast(power, p); s > bestScore {
 			bestScore, best = s, p
 		}
 	}
@@ -196,14 +222,19 @@ func (d *Decoder) refinePeriod(power []float64, p0 float64) float64 {
 // foldContrast folds the power envelope at the candidate period and returns
 // the contrast between the loudest and quietest deciles of the fold. The
 // true period aligns every inter-chirp gap onto the same bins, maximizing
-// the contrast.
-func foldContrast(power []float64, period float64) float64 {
+// the contrast. It is the inner statistic of the period grid search, so the
+// fold/sort buffers live in the decoder scratch.
+func (d *Decoder) foldContrast(power []float64, period float64) float64 {
 	bins := int(period)
 	if bins < 4 || len(power) < 2*bins {
 		return math.Inf(-1)
 	}
-	folded := make([]float64, bins)
-	counts := make([]int, bins)
+	folded := dsp.Resize(d.scr.folded, bins)
+	clear(folded)
+	d.scr.folded = folded
+	counts := dsp.Resize(d.scr.counts, bins)
+	clear(counts)
+	d.scr.counts = counts
 	for i, v := range power {
 		b := int(math.Mod(float64(i), period))
 		if b >= bins {
@@ -217,8 +248,10 @@ func foldContrast(power []float64, period float64) float64 {
 			folded[b] /= float64(counts[b])
 		}
 	}
-	sorted := append([]float64(nil), folded...)
-	sort.Float64s(sorted)
+	sorted := dsp.Resize(d.scr.sorted, bins)
+	copy(sorted, folded)
+	d.scr.sorted = sorted
+	slices.Sort(sorted)
 	// The duty-cycle limit guarantees a quiet gap of at least 20% of the
 	// period, so compare the quietest fifth of the fold against the loudest.
 	dec := bins / 5
@@ -248,8 +281,12 @@ func (d *Decoder) AlignChirpStart(x []float64, period float64) int {
 	if bins < 8 || len(x) < bins {
 		return 0
 	}
-	folded := make([]float64, bins)
-	counts := make([]int, bins)
+	folded := dsp.Resize(d.scr.folded, bins)
+	clear(folded)
+	d.scr.folded = folded
+	counts := dsp.Resize(d.scr.counts, bins)
+	clear(counts)
+	d.scr.counts = counts
 	for i, v := range x {
 		b := int(math.Mod(float64(i), period))
 		if b >= bins {
@@ -368,7 +405,7 @@ func (d *Decoder) classifySlot(x []float64, w int, period float64) (cssk.Symbol,
 // chirp's rising power edge, which absorbs residual period error over long
 // frames.
 func (d *Decoder) DecodeSymbols(x []float64, period float64, start int) []cssk.Symbol {
-	var out []cssk.Symbol
+	out := make([]cssk.Symbol, 0, int(float64(len(x))/period)+1)
 	for k := 0; ; k++ {
 		w := start + int(math.Round(float64(k)*period))
 		if w+int(0.5*period) > len(x) {

@@ -11,6 +11,7 @@ import (
 
 	"biscatter/internal/channel"
 	"biscatter/internal/delayline"
+	"biscatter/internal/dsp"
 	"biscatter/internal/fault"
 	"biscatter/internal/fmcw"
 )
@@ -46,6 +47,9 @@ type FrontEnd struct {
 	Faults *fault.TagInjector
 
 	noise *channel.Noise
+	// buf is the reusable ADC sample buffer; see the ownership note on
+	// Capture.
+	buf []float64
 }
 
 // NewFrontEnd builds a front-end with the given delay-line pair and noise
@@ -73,6 +77,10 @@ func NewFrontEnd(pair delayline.Pair, sampleRate, centerFrequency float64, seed 
 // downlink SNR (dB). startOffset shifts the capture start into the frame
 // (seconds), emulating a tag that wakes mid-packet; extraTail appends that
 // many seconds of noise-only samples after the frame.
+//
+// Ownership: the returned samples live in a front-end-owned buffer that is
+// reused by the next Capture call on the same FrontEnd; callers that keep a
+// capture across frames must copy it.
 func (fe *FrontEnd) Capture(frame *fmcw.Frame, snrDB, startOffset, extraTail float64) []float64 {
 	if startOffset < 0 {
 		startOffset = 0
@@ -83,7 +91,9 @@ func (fe *FrontEnd) Capture(frame *fmcw.Frame, snrDB, startOffset, extraTail flo
 		total = 0
 	}
 	n := int(total * fe.SampleRate)
-	out := make([]float64, n)
+	out := dsp.Resize(fe.buf, n)
+	clear(out)
+	fe.buf = out
 	sigma := channel.SigmaForSNR(fe.Amplitude, snrDB)
 
 	for _, c := range frame.Chirps {

@@ -3,6 +3,8 @@ package tag
 import (
 	"fmt"
 	"math"
+
+	"biscatter/internal/dsp"
 )
 
 // UplinkScheme selects how uplink bits modulate the RF switch.
@@ -82,7 +84,13 @@ func NewModulator(scheme UplinkScheme, f0, f1, period float64, chirpsPerBit int)
 // the last bit keep modulating at F0, preserving the tag's localization
 // signature.
 func (m *Modulator) States(bits []bool, period float64, n int) []bool {
-	out := make([]bool, n)
+	return m.StatesInto(make([]bool, n), bits, period, n)
+}
+
+// StatesInto is States writing into dst, which is grown as needed and
+// returned; every element is assigned, so dst may hold stale contents.
+func (m *Modulator) StatesInto(dst []bool, bits []bool, period float64, n int) []bool {
+	out := dsp.Resize(dst, n)
 	for k := 0; k < n; k++ {
 		t := float64(k) * period
 		bitIdx := k / m.ChirpsPerBit

@@ -86,8 +86,15 @@ func (t *Tag) ReceiveDownlink(frame *fmcw.Frame, snrDB float64, pktCfg packet.Co
 // UplinkStates returns the per-chirp reflect/absorb switch states carrying
 // the given uplink bits across n chirps.
 func (t *Tag) UplinkStates(bits []bool, period float64, n int) ([]bool, error) {
+	return t.UplinkStatesInto(nil, bits, period, n)
+}
+
+// UplinkStatesInto is UplinkStates writing into dst (grown as needed and
+// returned), so per-exchange scene building can reuse one state buffer per
+// node.
+func (t *Tag) UplinkStatesInto(dst []bool, bits []bool, period float64, n int) ([]bool, error) {
 	if t.Modulator == nil {
 		return nil, fmt.Errorf("tag: no modulator configured")
 	}
-	return t.Modulator.States(bits, period, n), nil
+	return t.Modulator.StatesInto(dst, bits, period, n), nil
 }

@@ -111,6 +111,27 @@ func TestNilRegistryIsInert(t *testing.T) {
 	}
 }
 
+// TestDisabledSpanIsAllocationFree pins the disabled-telemetry fast path:
+// the per-chirp hot loops open a span per unit of work, so with telemetry
+// off (nil registry → nil histogram) a Span/End pair must not touch the
+// heap — Span is returned by value and End takes no clock reading.
+func TestDisabledSpanIsAllocationFree(t *testing.T) {
+	var m *Metrics
+	h := m.Histogram("x")
+	if allocs := testing.AllocsPerRun(100, func() {
+		sp := h.Span()
+		sp.End()
+	}); allocs != 0 {
+		t.Fatalf("disabled histogram Span/End allocated %v times per op", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		sp := m.Span("stage")
+		sp.End()
+	}); allocs != 0 {
+		t.Fatalf("disabled metrics Span/End allocated %v times per op", allocs)
+	}
+}
+
 func TestSpanRecordsDuration(t *testing.T) {
 	m := New()
 	sp := m.Span("stage.demo")
