@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"biscatter/internal/channel"
@@ -345,6 +347,65 @@ func BenchmarkExchange(b *testing.B) {
 			var after runtime.MemStats
 			runtime.ReadMemStats(&after)
 			b.ReportMetric(float64(after.PauseTotalNs-before.PauseTotalNs)/float64(b.N), "gc-pause-ns/op")
+		})
+	}
+}
+
+// BenchmarkFleet measures the serving layer at increasing tenancy: N
+// networks resident on a GOMAXPROCS-engine fleet, each driven by its own
+// submitting goroutine. Reported metrics are aggregate exchanges/sec and
+// the p99 submit-to-done latency from the fleet.latency.seconds histogram;
+// scripts/bench_fleet.sh records them into BENCH_fleet.json.
+func BenchmarkFleet(b *testing.B) {
+	payload := []byte("fleet payload")
+	up := map[int][]bool{0: {true, false}, 1: {false, true}}
+	for _, networks := range []int{1, 4, 16} {
+		b.Run("networks="+strconv.Itoa(networks), func(b *testing.B) {
+			m := NewMetrics()
+			// Workers=1 per network: fleet tenancy is the parallelism axis
+			// under measurement, not the per-exchange fan-out.
+			fleet := NewFleet(FleetConfig{Metrics: m}, WithWorkers(1))
+			defer fleet.Close()
+			handles := make([]*FleetNetwork, networks)
+			for i := range handles {
+				fn, err := fleet.AddNetwork(Config{
+					Nodes: []NodeConfig{
+						{ID: 1, Range: 1.5 + 0.2*float64(i%4), ModulationF0: 1000, ModulationF1: 1600},
+						{ID: 2, Range: 3.0 + 0.3*float64(i%3), ModulationF0: 2200, ModulationF1: 2800},
+					},
+					ChirpsPerBit: 16,
+					Seed:         20 + int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm-up reaches each engine-resident scratch high-water
+				// mark outside the timed region.
+				if _, err := fn.Exchange(payload, up); err != nil {
+					b.Fatal(err)
+				}
+				handles[i] = fn
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for _, fn := range handles {
+				wg.Add(1)
+				go func(fn *FleetNetwork) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := fn.Exchange(payload, up); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(fn)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "exchanges/sec")
+			lat := m.Snapshot().Histograms["fleet.latency.seconds"]
+			b.ReportMetric(lat.P99*1e3, "p99-latency-ms")
 		})
 	}
 }

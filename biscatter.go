@@ -47,6 +47,36 @@
 // for the architecture and EXPERIMENTS.md for the paper-reproduction
 // results.
 //
+// # Serving many networks: Fleet vs Network
+//
+// A Network is a single-threaded engine: one deployment, one goroutine,
+// zero steady-state allocations. A Fleet is the serving layer above it — a
+// pool of engines hosting many Networks with concurrent submission, bounded
+// queues and aggregate telemetry. Choose by workload:
+//
+//	                     Network                Fleet
+//	deployments          one                    many
+//	callers              one goroutine          any number of goroutines
+//	scheduling           caller's loop          engine pool, per-network FIFO
+//	backpressure         none (caller-paced)    bounded queues + ctx deadline
+//	telemetry            per-network registry   shared registry + fleet.* stats
+//	determinism          bit-for-bit            bit-for-bit per network
+//
+// Use a bare Network for experiments, benchmarks and single-deployment
+// tools; use a Fleet when one process serves several deployments or takes
+// requests from concurrent callers:
+//
+//	fleet := biscatter.NewFleet(biscatter.FleetConfig{Engines: 4},
+//	    biscatter.WithWorkers(1)) // fleet-wide defaults, same Option set
+//	defer fleet.Close()
+//	fn, err := fleet.AddNetwork(cfg, biscatter.WithSeed(7)) // per-network override
+//	res, err := fn.ExchangeContext(ctx, payload, bits)      // concurrent-safe
+//
+// Deployments larger than the slow-time tone budget attach a FrameSchedule
+// (NewFrameSchedule, WithSchedule): tags in different frame groups reuse
+// FSK tone pairs, and ExchangeScheduled serves every group over one TDMA
+// cycle while scheduled-out tags sleep.
+//
 // Telemetry is opt-in and off by default. Attach a metrics registry to see
 // per-stage latency histograms (p50/p95/p99), per-node decode / detection /
 // demod outcome counters, BER tallies and detection-quality gauges:
@@ -70,6 +100,7 @@ import (
 	"biscatter/internal/fault"
 	"biscatter/internal/fec"
 	"biscatter/internal/fmcw"
+	"biscatter/internal/mac"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
 	"biscatter/internal/telemetry"
@@ -181,6 +212,21 @@ type (
 	// BreakerState is a node's circuit-breaker state inside a
 	// LinkController.
 	BreakerState = core.BreakerState
+	// Fleet is the serving layer: a pool of exchange engines hosting many
+	// Networks with concurrent submission, bounded queues and aggregate
+	// telemetry. See the package-level Fleet-vs-Network table.
+	Fleet = core.Fleet
+	// FleetConfig assembles a Fleet; the zero value selects GOMAXPROCS
+	// engines with depth-16 queues.
+	FleetConfig = core.FleetConfig
+	// FleetNetwork is one resident network of a Fleet: a concurrent-safe
+	// handle mirroring Network's pipeline entry points.
+	FleetNetwork = core.FleetNetwork
+	// FrameSchedule partitions a deployment into frame groups so tags in
+	// different groups reuse uplink FSK tone pairs (TDMA across frames).
+	FrameSchedule = mac.FrameSchedule
+	// ScheduledResult is the outcome of one full frame-schedule cycle.
+	ScheduledResult = core.ScheduledResult
 )
 
 // Forward-error-correction schemes for FECConfig.
@@ -209,6 +255,13 @@ var (
 	// ErrNodeQuarantined is returned by LinkController.Deliver while a
 	// node's circuit breaker is open and not yet due for a probe.
 	ErrNodeQuarantined = core.ErrNodeQuarantined
+	// ErrNodeInactive is carried in a NodeResult for nodes scheduled out of
+	// the current exchange round (WithActiveNodes or a frame-schedule
+	// group): their switches held a static state, so there is nothing to
+	// decode, detect or demodulate.
+	ErrNodeInactive = core.ErrNodeInactive
+	// ErrFleetClosed is returned by Fleet methods after Close.
+	ErrFleetClosed = core.ErrFleetClosed
 )
 
 // NewNetwork builds a network from the configuration, then applies the
@@ -216,6 +269,27 @@ var (
 // else has calibrated defaults.
 func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 	return core.NewNetwork(cfg, opts...)
+}
+
+// NewFleet builds a pool of exchange engines. defaults are NewNetwork
+// options applied to every network the fleet builds, before the options
+// given to AddNetwork — one Option set serves both levels.
+func NewFleet(cfg FleetConfig, defaults ...Option) *Fleet {
+	return core.NewFleet(cfg, defaults...)
+}
+
+// NewFrameSchedule partitions nTags into contiguous round-robin groups of
+// at most capacity tags for WithSchedule; tags sharing a slot across groups
+// reuse the same FSK tone pair.
+func NewFrameSchedule(nTags, capacity int) (*FrameSchedule, error) {
+	return mac.NewFrameSchedule(nTags, capacity)
+}
+
+// ScheduleFor builds the tightest FrameSchedule for nTags at the given
+// chirp period and bit length, using the §7 slow-time tone budget as the
+// per-frame capacity.
+func ScheduleFor(nTags int, period float64, chirpsPerBit int) (*FrameSchedule, error) {
+	return mac.ScheduleFor(nTags, period, chirpsPerBit)
 }
 
 // WithWorkers sizes the worker pool the exchange engine fans per-chirp,
@@ -258,6 +332,17 @@ func NewMetrics() *Metrics { return telemetry.New() }
 // WithMinChirps pads a single exchange's downlink frame to at least n
 // chirps for extra slow-time integration gain.
 func WithMinChirps(n int) ExchangeOption { return core.WithMinChirps(n) }
+
+// WithSchedule attaches a multi-tag frame schedule: FSK tone pairs are
+// assigned per schedule slot (so the deployment can exceed the slow-time
+// tone budget) and ExchangeScheduled serves every frame group over one
+// cycle. The schedule must cover exactly the configured node count.
+func WithSchedule(s *FrameSchedule) Option { return core.WithSchedule(s) }
+
+// WithActiveNodes restricts one exchange round to the listed node indices;
+// the rest hold a static switch state and carry ErrNodeInactive in their
+// NodeResult.
+func WithActiveNodes(idx ...int) ExchangeOption { return core.WithActiveNodes(idx...) }
 
 // WithFEC applies forward error correction to every downlink frame. The
 // zero FECConfig (FECNone) leaves frames byte-identical to the uncoded

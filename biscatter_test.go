@@ -60,3 +60,45 @@ func TestFacadeHelpers(t *testing.T) {
 		t.Errorf("CountBitErrors: %d/%d", errs, total)
 	}
 }
+
+// TestFacadeFleet drives the fleet surface end to end through the public
+// API: shared Option plumbing, concurrent-safe handles, schedule helpers
+// and the fleet sentinels.
+func TestFacadeFleet(t *testing.T) {
+	m := NewMetrics()
+	fleet := NewFleet(FleetConfig{Engines: 2, Metrics: m}, WithWorkers(1))
+	defer fleet.Close()
+
+	fn, err := fleet.AddNetwork(Config{
+		Nodes: []NodeConfig{{ID: 1, Range: 2.6}},
+		Seed:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("fleet api")
+	res, err := fn.Exchange(payload, map[int][]bool{0: {true, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes[0].DownlinkErr != nil || !bytes.Equal(res.Nodes[0].DownlinkPayload, payload) {
+		t.Fatalf("fleet downlink: %v %q", res.Nodes[0].DownlinkErr, res.Nodes[0].DownlinkPayload)
+	}
+	if got := m.Counter("fleet.requests").Value(); got != 1 {
+		t.Fatalf("fleet.requests = %d, want 1", got)
+	}
+
+	sched, err := NewFrameSchedule(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Frames() != 2 {
+		t.Fatalf("4 tags at capacity 2 should need 2 frames, got %d", sched.Frames())
+	}
+	if _, err := ScheduleFor(6, 120e-6, 64); err != nil {
+		t.Fatalf("ScheduleFor: %v", err)
+	}
+	if ErrNodeInactive == nil || ErrFleetClosed == nil {
+		t.Fatal("fleet sentinels must be exported")
+	}
+}

@@ -121,6 +121,10 @@ type DeliveryReport struct {
 // acknowledgment frame on which the node modulates its verdict with
 // configurable redundancy. It is DeliverReliableContext with a background
 // context and default options (except the attempt bound).
+//
+// Deprecated: use DeliverReliableContext with DeliverOptions, which carries
+// the full retry policy (attempt budget, ACK redundancy, backoff schedule)
+// and honors cancellation between frames.
 func (n *Network) DeliverReliable(nodeIdx int, payload []byte, maxAttempts int) (DeliveryReport, error) {
 	if maxAttempts < 1 {
 		return DeliveryReport{}, fmt.Errorf("core: maxAttempts %d must be positive", maxAttempts)

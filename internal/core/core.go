@@ -14,6 +14,7 @@ import (
 	"biscatter/internal/fault"
 	"biscatter/internal/fec"
 	"biscatter/internal/fmcw"
+	"biscatter/internal/mac"
 	"biscatter/internal/packet"
 	"biscatter/internal/parallel"
 	"biscatter/internal/radar"
@@ -79,6 +80,13 @@ type Config struct {
 	ChirpsPerBit int
 	// Nodes places the backscatter nodes; at least one is required.
 	Nodes []NodeConfig
+	// Schedule time-division-multiplexes the nodes across frames when the
+	// deployment exceeds the slow-time tone capacity: auto-assigned FSK
+	// pairs are allocated per schedule slot (tags in different frame groups
+	// reuse tones), and ExchangeScheduled serves every group over one
+	// schedule cycle. Nil — the default — keeps every node concurrent in
+	// every frame, which requires the deployment to fit the tone grid.
+	Schedule *mac.FrameSchedule
 	// Clutter is the static environment; defaults to the office scene.
 	Clutter []channel.Reflector
 	// Faults is the impairment profile applied to the whole network —
@@ -156,9 +164,16 @@ type Node struct {
 
 // Network is a BiScatter deployment: one radar access point and its nodes.
 //
-// A Network reuses internal scratch buffers across exchanges (and its radar
-// reuses frame-shaped buffers), so a single Network must not run two
-// exchanges concurrently; run concurrent workloads on separate networks.
+// # Concurrency contract
+//
+// A Network is a single-threaded exchange engine: it reuses internal
+// scratch buffers across calls (its radar reuses frame-shaped buffers and
+// each tag's decoder reuses capture-shaped buffers), so no two methods may
+// run concurrently on the same Network, and slice-typed outputs are valid
+// only until the next call on the same Network — callers that keep results
+// across exchanges must copy them. Separate Networks share nothing mutable
+// and may run fully in parallel; a Fleet packages that pattern as a server
+// (many networks scheduled across a pool of serially-driven engines).
 type Network struct {
 	cfg      Config
 	link     channel.Link
@@ -191,6 +206,14 @@ type exchangeScratch struct {
 	dets   []radar.Detection
 	diags  []radar.DetectionDiag
 	errs   []error
+	// active[i] reports whether node i modulates in the current round;
+	// inactive nodes hold a static switch state and are skipped by the
+	// decode/detect stages. Set by setActive before every round.
+	active []bool
+	// group and roundBits are the scheduled-exchange loop's reusable
+	// per-round group list and uplink-bit subset.
+	group     []int
+	roundBits map[int][]bool
 }
 
 // growRows extends a row set to at least n entries (appending nil rows)
@@ -213,6 +236,9 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Nodes) == 0 {
 		return nil, ErrNoNodes
+	}
+	if s := cfg.Schedule; s != nil && s.NTags() != len(cfg.Nodes) {
+		return nil, fmt.Errorf("core: schedule covers %d tags but the network has %d nodes", s.NTags(), len(cfg.Nodes))
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
@@ -277,15 +303,22 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 		// Auto-assigned tones sit on a grid whose step tracks the uplink
 		// bit rate: a bit window of ChirpsPerBit chirps resolves slow-time
 		// tones no finer than chirpRate/ChirpsPerBit, so both the FSK pair
-		// spacing and the inter-node spacing must exceed that.
+		// spacing and the inter-node spacing must exceed that. Under a
+		// frame schedule the grid index is the node's slot within its
+		// frame group, so tags that never modulate in the same frame reuse
+		// the same FSK pair and the deployment can exceed the grid.
 		bitRate := chirpRate / float64(cfg.ChirpsPerBit)
 		step := 2 * bitRate
 		if min := 0.02 * chirpRate; step < min {
 			step = min
 		}
 		base := 0.15 * chirpRate
+		slot := i
+		if cfg.Schedule != nil {
+			slot = cfg.Schedule.SlotOf(i)
+		}
 		if f0 == 0 {
-			f0 = base + float64(2*i)*step
+			f0 = base + float64(2*slot)*step
 		}
 		if f1 == 0 {
 			f1 = f0 + step
@@ -355,6 +388,10 @@ func (n *Network) Pair() delayline.Pair { return n.pair }
 
 // Config returns the network configuration with defaults applied.
 func (n *Network) Config() Config { return n.cfg }
+
+// Schedule returns the network's multi-tag frame schedule (nil when every
+// node is concurrent in every frame).
+func (n *Network) Schedule() *mac.FrameSchedule { return n.cfg.Schedule }
 
 // DownlinkDataRate returns the CSSK downlink data rate in bit/s (Eq. 14).
 func (n *Network) DownlinkDataRate() float64 {

@@ -12,7 +12,18 @@ var (
 
 	// ErrToneBandExceeded means a node's uplink modulation tones fall at or
 	// above the slow-time Nyquist band (half the chirp rate), so the radar
-	// could not separate them. Use fewer nodes, a larger ChirpsPerBit, or
-	// explicit ModulationF0/F1 assignments.
+	// could not separate them. Use fewer nodes, a larger ChirpsPerBit,
+	// explicit ModulationF0/F1 assignments, or a mac.FrameSchedule
+	// (WithSchedule) that time-division-multiplexes tags across frames.
 	ErrToneBandExceeded = errors.New("core: uplink tones exceed the slow-time band")
+
+	// ErrNodeInactive is carried in a NodeResult for nodes scheduled out of
+	// the current exchange round (WithActiveNodes, or a frame-schedule group
+	// the node is not part of): the node's switch held a static state, so
+	// there is nothing to decode, detect or demodulate.
+	ErrNodeInactive = errors.New("core: node inactive this round")
+
+	// ErrFleetClosed is returned by Fleet methods after Close: the engines
+	// have drained their queues and exited, so no further work is accepted.
+	ErrFleetClosed = errors.New("core: fleet is closed")
 )

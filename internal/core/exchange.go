@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -68,9 +69,33 @@ func (n *Network) BuildSensingFrame(chirps int) (*fmcw.Frame, error) {
 	return n.builder.BuildUniform(chirps, n.cfg.Preset.Chirp.Duration)
 }
 
+// setActive fills the round's active-node scratch: nil selects every node,
+// otherwise only the listed indices modulate (out-of-range entries are
+// ignored). Returns the filled slice.
+func (n *Network) setActive(list []int) []bool {
+	act := dsp.Resize(n.scr.active, len(n.nodes))
+	n.scr.active = act
+	if list == nil {
+		for i := range act {
+			act[i] = true
+		}
+		return act
+	}
+	clear(act)
+	for _, i := range list {
+		if i >= 0 && i < len(act) {
+			act[i] = true
+		}
+	}
+	return act
+}
+
 // buildScene assembles the radar scene for a frame: the configured clutter
 // plus every node's per-chirp switch states. uplinkBits maps node index →
-// bits; nodes without an entry modulate their localization beacon.
+// bits; active nodes without an entry modulate their localization beacon,
+// while inactive nodes (scr.active[i] false) hold a static switch state —
+// they stay physically present as constant echoes that background
+// subtraction removes, exactly like clutter.
 func (n *Network) buildScene(frame *fmcw.Frame, uplinkBits map[int][]bool) (radar.Scene, error) {
 	scene := radar.Scene{Clutter: n.cfg.Clutter, Faults: n.radarInj}
 	if f := n.cfg.Faults; f != nil && len(f.Clutter) > 0 {
@@ -84,9 +109,16 @@ func (n *Network) buildScene(frame *fmcw.Frame, uplinkBits map[int][]bool) (rada
 	n.scr.states = growRows(n.scr.states, len(n.nodes))
 	tags := n.scr.tags[:0]
 	for i, node := range n.nodes {
-		states, serr := node.Tag.UplinkStatesInto(n.scr.states[i], uplinkBits[i], n.cfg.Period, len(frame.Chirps))
-		if serr != nil {
-			return radar.Scene{}, fmt.Errorf("core: node %d uplink states: %w", i, serr)
+		var states []bool
+		if len(n.scr.active) == len(n.nodes) && !n.scr.active[i] {
+			states = dsp.Resize(n.scr.states[i], len(frame.Chirps))
+			clear(states)
+		} else {
+			var serr error
+			states, serr = node.Tag.UplinkStatesInto(n.scr.states[i], uplinkBits[i], n.cfg.Period, len(frame.Chirps))
+			if serr != nil {
+				return radar.Scene{}, fmt.Errorf("core: node %d uplink states: %w", i, serr)
+			}
 		}
 		n.scr.states[i] = states
 		tags = append(tags, radar.TagEcho{
@@ -138,10 +170,15 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 	for _, opt := range opts {
 		opt(&eo)
 	}
-	// Size the frame for the packet, the longest uplink message, and any
-	// explicitly requested padding.
+	active := n.setActive(eo.active)
+	// Size the frame for the packet, the longest active uplink message, and
+	// any explicitly requested padding; bits for inactive nodes are ignored
+	// (their switches hold a static state this round).
 	minChirps := eo.minChirps
-	for _, bits := range uplinkBits {
+	for i, bits := range uplinkBits {
+		if i < 0 || i >= len(active) || !active[i] {
+			continue
+		}
 		if c := len(bits) * n.cfg.ChirpsPerBit; c > minChirps {
 			minChirps = c
 		}
@@ -162,6 +199,12 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 	// fan out across the pool. The telemetry handles are atomic, so the
 	// counter totals are deterministic for any worker count.
 	if err := n.pool.ForContext(ctx, len(n.nodes), func(i int) error {
+		if !active[i] {
+			// A scheduled-out tag sleeps through the frame (the §4.1 power
+			// story): no decode, no telemetry, no events.
+			res.Nodes[i].DownlinkErr = ErrNodeInactive
+			return nil
+		}
 		node := n.nodes[i]
 		snr := n.link.DownlinkSNRdB(node.Range)
 		dlsp := n.tel.downlink.Span()
@@ -234,6 +277,9 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 		res.Nodes[i].Detection = dets[i]
 		res.Nodes[i].DetectionErr = derrs[i]
 		res.Nodes[i].UplinkDiag = diags[i]
+		if !active[i] {
+			return nil
+		}
 		nt := n.tel.node(i)
 		outcome(derrs[i], n.tel.detOK, n.tel.detErr)
 		outcome(derrs[i], nt.detOK, nt.detErr)
@@ -305,9 +351,10 @@ func countBitMismatches(sent, got []bool) int {
 //
 // The returned slices are network-owned scratch, valid until the next
 // detectNodes call; callers that keep them across exchanges must copy. The
-// diagnostics are populated for every node — on a failed detection they
-// describe the best candidate bin, so callers can see how far below
-// threshold the miss was.
+// diagnostics are populated for every active node — on a failed detection
+// they describe the best candidate bin, so callers can see how far below
+// threshold the miss was. Nodes outside the round's active set are not
+// searched; their errs entry is ErrNodeInactive.
 func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []float64) ([]radar.Detection, []radar.DetectionDiag, []error, error) {
 	nn := len(n.nodes)
 	dets := dsp.Resize(n.scr.dets, nn)
@@ -320,10 +367,32 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 	if nn == 0 {
 		return dets, diags, errs, nil
 	}
+	// Only the round's active nodes are searched: a scheduled-out node's
+	// switch holds a static state, so its tones carry nothing — and under a
+	// frame schedule it may share its FSK pair with an active node, whose
+	// bins it must not contest.
+	active := n.scr.active
+	if len(active) != nn {
+		active = n.setActive(nil)
+	}
+	nActive := 0
+	for j := 0; j < nn; j++ {
+		if active[j] {
+			nActive++
+		} else {
+			errs[j] = ErrNodeInactive
+		}
+	}
+	if nActive == 0 {
+		return dets, diags, errs, nil
+	}
 	// tones[2j] and tones[2j+1] are node j's F0 and F1 profiles.
 	n.scr.tones = growRows(n.scr.tones, 2*nn)
 	tones := n.scr.tones[:2*nn]
 	for k := 0; k < 2*nn; k++ {
+		if !active[k/2] {
+			continue
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, nil, nil, err
 		}
@@ -336,21 +405,28 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 	}
 	n.scr.profs = growRows(n.scr.profs, nn)
 	profs := n.scr.profs[:nn]
+	nBins := 0
 	for j := range profs {
+		if !active[j] {
+			continue
+		}
 		p0, p1 := tones[2*j], tones[2*j+1]
 		s := dsp.Resize(profs[j], len(p0))
 		for b := range s {
 			s[b] = p0[b] + p1[b]
 		}
 		profs[j] = s
+		nBins = len(s)
 	}
-	nBins := len(profs[0])
 	owner := dsp.Resize(n.scr.owner, nBins)
 	n.scr.owner = owner
 	for b := 0; b < nBins; b++ {
-		best := 0
-		for j := 1; j < nn; j++ {
-			if profs[j][b] > profs[best][b] {
+		best := -1
+		for j := 0; j < nn; j++ {
+			if !active[j] {
+				continue
+			}
+			if best < 0 || profs[j][b] > profs[best][b] {
 				best = j
 			}
 		}
@@ -358,6 +434,9 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 	}
 	binWidth := grid[1] - grid[0]
 	for j := range n.nodes {
+		if !active[j] {
+			continue
+		}
 		prof := profs[j]
 		med, ms := dsp.MedianWith(n.scr.med, prof)
 		n.scr.med = ms
@@ -394,9 +473,79 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 	return dets, diags, errs, nil
 }
 
+// ScheduledResult is the outcome of one full frame-schedule cycle: every
+// node served exactly once across the cycle's rounds.
+type ScheduledResult struct {
+	// Rounds holds one ExchangeResult per frame group, in group order. In
+	// each round only that group's nodes are active; the rest carry
+	// ErrNodeInactive.
+	Rounds []*ExchangeResult
+	// Nodes holds the merged per-node results: node i's entry comes from
+	// the round in which its group was active.
+	Nodes []NodeResult
+}
+
+// ExchangeScheduled runs one full schedule cycle; see
+// ExchangeScheduledContext.
+func (n *Network) ExchangeScheduled(payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ScheduledResult, error) {
+	return n.ExchangeScheduledContext(context.Background(), payload, uplinkBits, opts...)
+}
+
+// ExchangeScheduledContext serves every node over one frame-schedule cycle:
+// one exchange round per frame group, with only that group's tags
+// modulating (the others hold static switch states, so shared FSK pairs
+// never collide). The payload is retransmitted in every round — each tag
+// decodes it during its own group's frame — and uplinkBits maps node index
+// → bits exactly as in Exchange, split across rounds by group membership.
+// On a network without a schedule the cycle is a single all-active round.
+//
+// The merged Nodes view aliases the per-round results, which follow the
+// Network ownership contract: valid until the next call on this Network.
+func (n *Network) ExchangeScheduledContext(ctx context.Context, payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ScheduledResult, error) {
+	sched := n.cfg.Schedule
+	if sched == nil {
+		res, err := n.ExchangeContext(ctx, payload, uplinkBits, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &ScheduledResult{Rounds: []*ExchangeResult{res}, Nodes: res.Nodes}, nil
+	}
+	out := &ScheduledResult{
+		Rounds: make([]*ExchangeResult, 0, sched.Frames()),
+		Nodes:  make([]NodeResult, len(n.nodes)),
+	}
+	if n.scr.roundBits == nil {
+		n.scr.roundBits = make(map[int][]bool)
+	}
+	for g := 0; g < sched.Frames(); g++ {
+		grp := sched.AppendGroup(n.scr.group[:0], g)
+		n.scr.group = grp
+		clear(n.scr.roundBits)
+		for _, i := range grp {
+			if bits, ok := uplinkBits[i]; ok {
+				n.scr.roundBits[i] = bits
+			}
+		}
+		ropts := make([]ExchangeOption, 0, len(opts)+1)
+		ropts = append(ropts, opts...)
+		ropts = append(ropts, WithActiveNodes(grp...))
+		res, err := n.ExchangeContext(ctx, payload, n.scr.roundBits, ropts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: schedule group %d: %w", g, err)
+		}
+		out.Rounds = append(out.Rounds, res)
+		for _, i := range grp {
+			out.Nodes[i] = res.Nodes[i]
+		}
+	}
+	return out, nil
+}
+
 // Localize runs a sensing round (with the given frame, or a fixed-slope
 // sensing frame when frame is nil) and returns per-node detections. Nodes
-// modulate their localization beacons (constant zero bits → F0 tone).
+// modulate their localization beacons (constant zero bits → F0 tone). On a
+// scheduled network the beacons run one frame group at a time (shared FSK
+// pairs must not beacon simultaneously), reusing the frame across groups.
 func (n *Network) Localize(frame *fmcw.Frame, chirps int) ([]radar.Detection, error) {
 	return n.LocalizeContext(context.Background(), frame, chirps)
 }
@@ -411,32 +560,50 @@ func (n *Network) LocalizeContext(ctx context.Context, frame *fmcw.Frame, chirps
 			return nil, err
 		}
 	}
-	scene, err := n.buildScene(frame, nil)
-	if err != nil {
-		return nil, err
+	sched := n.cfg.Schedule
+	groups := 1
+	if sched != nil {
+		groups = sched.Frames()
 	}
-	capt, err := n.radar.ObserveContext(ctx, frame, scene)
-	if err != nil {
-		return nil, err
-	}
-	cm, grid, err := n.radar.CorrectedMatrixContext(ctx, capt)
-	if err != nil {
-		return nil, err
-	}
-	n.scr.mag = radar.MagnitudeMatrixInto(n.scr.mag, cm)
-	matrix, bg := radar.SubtractBackgroundMagInto(n.scr.mag, n.scr.bg)
-	n.scr.bg = bg
-	dets, _, derrs, err := n.detectNodes(ctx, matrix, grid)
-	if err != nil {
-		return nil, err
-	}
-	for i, derr := range derrs {
-		if derr != nil {
-			return nil, fmt.Errorf("core: node %d: %w", i, derr)
+	out := make([]radar.Detection, len(n.nodes))
+	for g := 0; g < groups; g++ {
+		if sched == nil {
+			n.setActive(nil)
+		} else {
+			grp := sched.AppendGroup(n.scr.group[:0], g)
+			n.scr.group = grp
+			n.setActive(grp)
+		}
+		scene, err := n.buildScene(frame, nil)
+		if err != nil {
+			return nil, err
+		}
+		capt, err := n.radar.ObserveContext(ctx, frame, scene)
+		if err != nil {
+			return nil, err
+		}
+		cm, grid, err := n.radar.CorrectedMatrixContext(ctx, capt)
+		if err != nil {
+			return nil, err
+		}
+		n.scr.mag = radar.MagnitudeMatrixInto(n.scr.mag, cm)
+		matrix, bg := radar.SubtractBackgroundMagInto(n.scr.mag, n.scr.bg)
+		n.scr.bg = bg
+		dets, _, derrs, err := n.detectNodes(ctx, matrix, grid)
+		if err != nil {
+			return nil, err
+		}
+		for i, derr := range derrs {
+			if errors.Is(derr, ErrNodeInactive) {
+				continue
+			}
+			if derr != nil {
+				return nil, fmt.Errorf("core: node %d: %w", i, derr)
+			}
+			out[i] = dets[i]
 		}
 	}
-	// dets is detectNodes scratch; hand callers their own copy.
-	return append([]radar.Detection(nil), dets...), nil
+	return out, nil
 }
 
 // MapEnvironment runs a sensing frame and returns the radar's static-object
@@ -453,6 +620,7 @@ func (n *Network) MapEnvironmentContext(ctx context.Context, chirps int) ([]rada
 	if err != nil {
 		return nil, err
 	}
+	n.setActive(nil)
 	scene, err := n.buildScene(frame, nil)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"biscatter/internal/fmcw"
+	"biscatter/internal/radar"
+	"biscatter/internal/telemetry"
+)
+
+// FleetConfig assembles a Fleet. The zero value selects the calibrated
+// defaults; network-level configuration is NOT here — it arrives through
+// the same Config + functional Option set NewNetwork takes, as fleet-wide
+// defaults on NewFleet and per-network settings on AddNetwork.
+type FleetConfig struct {
+	// Engines is the number of exchange engines — the fleet's concurrency
+	// width. Each engine is one goroutine that drives its resident
+	// networks serially, honoring the single-threaded Network contract.
+	// Non-positive selects GOMAXPROCS.
+	Engines int
+	// QueueDepth bounds each engine's request queue. A submit against a
+	// full queue waits until a slot frees or the caller's context expires
+	// (reject-or-wait backpressure via context deadlines); default 16.
+	QueueDepth int
+	// Metrics receives the fleet's aggregate telemetry (queue-wait and
+	// latency histograms, busy-engine gauge, per-network counters) and is
+	// shared with every network the fleet builds, so per-stage pipeline
+	// metrics aggregate fleet-wide. Nil disables collection.
+	Metrics *telemetry.Metrics
+	// Recorder receives the structured pipeline events of every network
+	// the fleet builds; nil disables them.
+	Recorder telemetry.Recorder
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Engines <= 0 {
+		c.Engines = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	return c
+}
+
+// fleetReq is one unit of engine work: a closure run on the owning engine's
+// goroutine. done is closed after run returns; the submitter blocks on it,
+// which is the happens-before edge that hands the results back.
+type fleetReq struct {
+	ctx  context.Context
+	run  func(ctx context.Context)
+	done chan struct{}
+	enq  time.Time
+}
+
+// engine is one serially-driven exchange lane: a goroutine plus the bounded
+// queue feeding it. Networks are pinned to engines, so every network's
+// requests execute in submission order on a single goroutine — the fleet's
+// way of honoring the Network single-threaded contract while many networks
+// make progress concurrently.
+type engine struct {
+	id    int
+	queue chan *fleetReq
+}
+
+// fleetTel holds the fleet's pre-resolved telemetry handles; the zero value
+// is the disabled state (all methods no-op).
+type fleetTel struct {
+	m         *telemetry.Metrics
+	queueWait *telemetry.Histogram // fleet.queue_wait.seconds: enqueue → claim
+	service   *telemetry.Histogram // fleet.service.seconds: time inside run
+	latency   *telemetry.Histogram // fleet.latency.seconds: submit → done
+	busy      *telemetry.Gauge     // fleet.busy_engines
+	engines   *telemetry.Gauge     // fleet.engines (static width)
+	networks  *telemetry.Gauge     // fleet.networks (resident count)
+	requests  *telemetry.Counter   // fleet.requests (completed submissions)
+	rejected  *telemetry.Counter   // fleet.rejected (backpressure/deadline)
+}
+
+func newFleetTel(m *telemetry.Metrics) fleetTel {
+	if m == nil {
+		return fleetTel{}
+	}
+	return fleetTel{
+		m:         m,
+		queueWait: m.Histogram("fleet.queue_wait.seconds"),
+		service:   m.Histogram("fleet.service.seconds"),
+		latency:   m.Histogram("fleet.latency.seconds"),
+		busy:      m.Gauge("fleet.busy_engines"),
+		engines:   m.Gauge("fleet.engines"),
+		networks:  m.Gauge("fleet.networks"),
+		requests:  m.Counter("fleet.requests"),
+		rejected:  m.Counter("fleet.rejected"),
+	}
+}
+
+func (t fleetTel) enabled() bool { return t.m != nil }
+
+// Fleet is the serving layer over a pool of exchange engines: it hosts many
+// independent Networks in one process and schedules their Exchange /
+// Localize / MapEnvironment calls across N engines with per-network
+// isolation, bounded queues and aggregate telemetry.
+//
+// # Concurrency contract
+//
+// A Fleet is safe for concurrent use by any number of goroutines — that is
+// its purpose. Each resident network is pinned to one engine and driven
+// serially in submission order, so per-network results are byte-identical
+// to the same call sequence on a standalone Network with the same seed.
+// Results still follow the Network ownership contract, scoped per network:
+// slice-typed outputs are valid until the next call on the same
+// FleetNetwork. Calls on different FleetNetworks never invalidate each
+// other.
+//
+// Backpressure: every engine queue is bounded (FleetConfig.QueueDepth).
+// When a network's engine queue is full, submission blocks until a slot
+// frees or ctx is done — so callers choose reject-or-wait by deadline:
+// a context without a deadline waits, one with a deadline rejects with
+// ctx.Err() when it expires. Rejections count into fleet.rejected.
+type Fleet struct {
+	cfg      FleetConfig
+	defaults []Option
+	engines  []*engine
+	tel      fleetTel
+
+	// mu serializes submissions against Close: submitters hold it (read
+	// side) for the enqueue only — never while waiting for the result — so
+	// Close can take the write side once every in-flight enqueue resolved,
+	// mark the fleet closed and close the queues without racing a send.
+	mu       sync.RWMutex
+	closed   bool
+	networks int
+
+	wg sync.WaitGroup
+}
+
+// NewFleet builds a fleet of exchange engines. defaults are NewNetwork
+// options applied to every network the fleet builds, before the options
+// given to AddNetwork — the same functional Option set NewNetwork accepts,
+// so fleet-wide policy (WithPreset, WithWorkers, WithFaults, ...) and
+// per-network overrides share one plumbing.
+func NewFleet(cfg FleetConfig, defaults ...Option) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:      cfg,
+		defaults: defaults,
+		tel:      newFleetTel(cfg.Metrics),
+	}
+	f.tel.engines.Set(float64(cfg.Engines))
+	for i := 0; i < cfg.Engines; i++ {
+		e := &engine{id: i, queue: make(chan *fleetReq, cfg.QueueDepth)}
+		f.engines = append(f.engines, e)
+		f.wg.Add(1)
+		go f.engineLoop(e)
+	}
+	return f
+}
+
+// engineLoop drains one engine's queue until Close closes it. Each request
+// runs to completion before the next is claimed; the busy gauge counts
+// engines currently inside a request.
+func (f *Fleet) engineLoop(e *engine) {
+	defer f.wg.Done()
+	for req := range e.queue {
+		if f.tel.enabled() {
+			f.tel.queueWait.Observe(time.Since(req.enq).Seconds())
+		}
+		f.tel.busy.Add(1)
+		sp := f.tel.service.Span()
+		req.run(req.ctx)
+		sp.End()
+		f.tel.busy.Add(-1)
+		close(req.done)
+	}
+}
+
+// do schedules run on the engine and waits for it to finish. The enqueue
+// respects the bounded queue: a full queue blocks until a slot frees or ctx
+// is done. Once enqueued, the request always runs (run sees ctx and returns
+// promptly when it is already cancelled), so results never race a
+// mid-flight abandonment.
+func (f *Fleet) do(ctx context.Context, e *engine, run func(ctx context.Context)) error {
+	if err := ctx.Err(); err != nil {
+		f.tel.rejected.Inc()
+		return err
+	}
+	req := &fleetReq{ctx: ctx, run: run, done: make(chan struct{})}
+	if f.tel.enabled() {
+		req.enq = time.Now()
+	}
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return ErrFleetClosed
+	}
+	select {
+	case e.queue <- req:
+		f.mu.RUnlock()
+	case <-ctx.Done():
+		f.mu.RUnlock()
+		f.tel.rejected.Inc()
+		return ctx.Err()
+	}
+	<-req.done
+	if f.tel.enabled() {
+		f.tel.latency.Observe(time.Since(req.enq).Seconds())
+	}
+	f.tel.requests.Inc()
+	return nil
+}
+
+// AddNetwork builds a network from the configuration, the fleet defaults
+// and the per-network options (fleet defaults run first, so per-network
+// options override them), and pins it to an engine round-robin. The fleet's
+// metrics registry and recorder are attached ahead of the option list, so
+// an explicit WithMetrics/WithTelemetry still wins.
+func (f *Fleet) AddNetwork(cfg Config, opts ...Option) (*FleetNetwork, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrFleetClosed
+	}
+	id := f.networks
+	f.networks++
+	f.mu.Unlock()
+
+	all := make([]Option, 0, len(f.defaults)+len(opts)+2)
+	if f.cfg.Metrics != nil {
+		all = append(all, WithMetrics(f.cfg.Metrics))
+	}
+	if f.cfg.Recorder != nil {
+		all = append(all, WithTelemetry(f.cfg.Recorder))
+	}
+	all = append(all, f.defaults...)
+	all = append(all, opts...)
+	net, err := NewNetwork(cfg, all...)
+	if err != nil {
+		return nil, fmt.Errorf("core: fleet network %d: %w", id, err)
+	}
+	fn := &FleetNetwork{
+		fleet: f,
+		eng:   f.engines[id%len(f.engines)],
+		net:   net,
+		id:    id,
+	}
+	if f.tel.enabled() {
+		f.tel.networks.Add(1)
+		p := "fleet.network." + strconv.Itoa(id)
+		fn.requests = f.tel.m.Counter(p + ".requests")
+		fn.errors = f.tel.m.Counter(p + ".errors")
+	}
+	return fn, nil
+}
+
+// Engines returns the fleet's concurrency width.
+func (f *Fleet) Engines() int { return len(f.engines) }
+
+// Networks returns the number of resident networks.
+func (f *Fleet) Networks() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.networks
+}
+
+// Metrics returns a point-in-time snapshot of the fleet's telemetry
+// registry: fleet.* scheduling metrics plus the aggregated per-stage
+// pipeline metrics of every resident network. Empty when the fleet was
+// built without a registry.
+func (f *Fleet) Metrics() telemetry.Snapshot { return f.tel.m.Snapshot() }
+
+// Close drains and stops the fleet: queued requests run to completion, new
+// submissions fail with ErrFleetClosed, and Close returns once every engine
+// goroutine has exited. Closing an already-closed fleet is a no-op.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	for _, e := range f.engines {
+		close(e.queue)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// FleetNetwork is one resident network of a Fleet: a handle whose methods
+// mirror Network's pipeline entry points but execute on the network's
+// engine, serialized with the network's other requests. The handle is safe
+// for concurrent use; concurrent calls on the same handle are run one at a
+// time in queue order (results follow the per-network ownership contract —
+// valid until the handle's next call).
+type FleetNetwork struct {
+	fleet *Fleet
+	eng   *engine
+	net   *Network
+	id    int
+
+	requests *telemetry.Counter // fleet.network.<id>.requests
+	errors   *telemetry.Counter // fleet.network.<id>.errors
+}
+
+// ID returns the network's fleet-assigned identifier (dense, in AddNetwork
+// order); telemetry counters are published under fleet.network.<id>.
+func (fn *FleetNetwork) ID() int { return fn.id }
+
+// Engine returns the index of the engine this network is pinned to.
+func (fn *FleetNetwork) Engine() int { return fn.eng.id }
+
+// Network returns the underlying network for configuration inspection
+// (Config, Alphabet, DownlinkDataRate, ...). Do NOT call pipeline methods
+// (Exchange, Localize, ...) on it directly while the fleet serves it — that
+// would race the engine; go through the FleetNetwork methods instead.
+func (fn *FleetNetwork) Network() *Network { return fn.net }
+
+// outcome tallies one request's per-network counters.
+func (fn *FleetNetwork) outcome(err error) {
+	fn.requests.Inc()
+	if err != nil {
+		fn.errors.Inc()
+	}
+}
+
+// ExchangeContext schedules one integrated ISAC round on the network's
+// engine and returns its result; see Network.ExchangeContext for the round
+// semantics. Submission blocks while the engine queue is full (backpressure
+// — bound it with a context deadline); ctx also cancels the round itself
+// cooperatively once it runs.
+func (fn *FleetNetwork) ExchangeContext(ctx context.Context, payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ExchangeResult, error) {
+	var (
+		res  *ExchangeResult
+		rerr error
+	)
+	if err := fn.fleet.do(ctx, fn.eng, func(ctx context.Context) {
+		res, rerr = fn.net.ExchangeContext(ctx, payload, uplinkBits, opts...)
+	}); err != nil {
+		fn.outcome(err)
+		return nil, err
+	}
+	fn.outcome(rerr)
+	return res, rerr
+}
+
+// Exchange is ExchangeContext with a background context: it waits for a
+// queue slot indefinitely.
+func (fn *FleetNetwork) Exchange(payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ExchangeResult, error) {
+	return fn.ExchangeContext(context.Background(), payload, uplinkBits, opts...)
+}
+
+// ExchangeScheduledContext schedules one full frame-schedule cycle (every
+// node served once) as a single engine request, so the cycle's rounds are
+// never interleaved with other requests on this network; see
+// Network.ExchangeScheduledContext.
+func (fn *FleetNetwork) ExchangeScheduledContext(ctx context.Context, payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ScheduledResult, error) {
+	var (
+		res  *ScheduledResult
+		rerr error
+	)
+	if err := fn.fleet.do(ctx, fn.eng, func(ctx context.Context) {
+		res, rerr = fn.net.ExchangeScheduledContext(ctx, payload, uplinkBits, opts...)
+	}); err != nil {
+		fn.outcome(err)
+		return nil, err
+	}
+	fn.outcome(rerr)
+	return res, rerr
+}
+
+// ExchangeScheduled is ExchangeScheduledContext with a background context.
+func (fn *FleetNetwork) ExchangeScheduled(payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (*ScheduledResult, error) {
+	return fn.ExchangeScheduledContext(context.Background(), payload, uplinkBits, opts...)
+}
+
+// LocalizeContext schedules a sensing round on the network's engine; see
+// Network.LocalizeContext.
+func (fn *FleetNetwork) LocalizeContext(ctx context.Context, frame *fmcw.Frame, chirps int) ([]radar.Detection, error) {
+	var (
+		dets []radar.Detection
+		rerr error
+	)
+	if err := fn.fleet.do(ctx, fn.eng, func(ctx context.Context) {
+		dets, rerr = fn.net.LocalizeContext(ctx, frame, chirps)
+	}); err != nil {
+		fn.outcome(err)
+		return nil, err
+	}
+	fn.outcome(rerr)
+	return dets, rerr
+}
+
+// Localize is LocalizeContext with a background context.
+func (fn *FleetNetwork) Localize(frame *fmcw.Frame, chirps int) ([]radar.Detection, error) {
+	return fn.LocalizeContext(context.Background(), frame, chirps)
+}
+
+// MapEnvironmentContext schedules an environment-mapping round on the
+// network's engine; see Network.MapEnvironmentContext.
+func (fn *FleetNetwork) MapEnvironmentContext(ctx context.Context, chirps int) ([]radar.MapTarget, error) {
+	var (
+		targets []radar.MapTarget
+		rerr    error
+	)
+	if err := fn.fleet.do(ctx, fn.eng, func(ctx context.Context) {
+		targets, rerr = fn.net.MapEnvironmentContext(ctx, chirps)
+	}); err != nil {
+		fn.outcome(err)
+		return nil, err
+	}
+	fn.outcome(rerr)
+	return targets, rerr
+}
+
+// MapEnvironment is MapEnvironmentContext with a background context.
+func (fn *FleetNetwork) MapEnvironment(chirps int) ([]radar.MapTarget, error) {
+	return fn.MapEnvironmentContext(context.Background(), chirps)
+}

@@ -5,6 +5,7 @@ import (
 	"biscatter/internal/fault"
 	"biscatter/internal/fec"
 	"biscatter/internal/fmcw"
+	"biscatter/internal/mac"
 	"biscatter/internal/telemetry"
 )
 
@@ -102,9 +103,21 @@ func WithTelemetry(rec telemetry.Recorder) Option {
 	}
 }
 
+// WithSchedule attaches a multi-tag frame schedule: auto-assigned FSK pairs
+// are allocated per schedule slot (so tags in different frame groups reuse
+// tones and the deployment can exceed the tone grid), and ExchangeScheduled
+// serves every group over one cycle. The schedule must cover exactly the
+// configured node count.
+func WithSchedule(s *mac.FrameSchedule) Option {
+	return func(c *Config) { c.Schedule = s }
+}
+
 // exchangeOptions collects the per-round knobs of one Exchange call.
 type exchangeOptions struct {
 	minChirps int
+	// active lists the node indices that modulate this round; nil selects
+	// every node.
+	active []int
 }
 
 // ExchangeOption customizes a single Exchange/ExchangeContext round
@@ -121,4 +134,14 @@ func WithMinChirps(n int) ExchangeOption {
 			o.minChirps = n
 		}
 	}
+}
+
+// WithActiveNodes restricts one exchange round to the listed node indices:
+// only they decode the downlink, modulate the uplink and are searched for.
+// The other nodes hold a static switch state (their NodeResult carries
+// ErrNodeInactive) — the per-frame picture of a mac.FrameSchedule group,
+// exposed for callers that run their own scheduling. The slice is retained
+// for the duration of the round; out-of-range indices are ignored.
+func WithActiveNodes(idx ...int) ExchangeOption {
+	return func(o *exchangeOptions) { o.active = idx }
 }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"biscatter/internal/mac"
+)
+
+// fourNodeScheduledConfig is a deployment twice the size of its frame
+// capacity: nodes 0/2 share schedule slot 0 and nodes 1/3 share slot 1, so
+// the auto-assigned FSK pairs are reused across the two frame groups.
+func fourNodeScheduledConfig(t *testing.T) Config {
+	t.Helper()
+	sched, err := mac.NewFrameSchedule(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Nodes: []NodeConfig{
+			{ID: 1, Range: 1.5},
+			{ID: 2, Range: 2.4},
+			{ID: 3, Range: 3.2},
+			{ID: 4, Range: 4.1},
+		},
+		ChirpsPerBit: 64,
+		Seed:         11,
+		Workers:      1,
+		Schedule:     sched,
+	}
+}
+
+func TestScheduleNodeCountMismatch(t *testing.T) {
+	cfg := fourNodeScheduledConfig(t)
+	cfg.Nodes = cfg.Nodes[:3]
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Fatal("schedule covering 4 tags must reject a 3-node config")
+	}
+}
+
+func TestScheduleSharesTonesAcrossGroups(t *testing.T) {
+	n, err := NewNetwork(fourNodeScheduledConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := n.Nodes()
+	if nodes[0].Uplink.F0 != nodes[2].Uplink.F0 || nodes[1].Uplink.F1 != nodes[3].Uplink.F1 {
+		t.Fatalf("slot-sharing nodes should reuse FSK pairs: %+v / %+v vs %+v / %+v",
+			nodes[0].Uplink, nodes[1].Uplink, nodes[2].Uplink, nodes[3].Uplink)
+	}
+	if nodes[0].Uplink.F0 == nodes[1].Uplink.F0 {
+		t.Fatal("different slots must get distinct FSK pairs")
+	}
+}
+
+// TestWithActiveNodesAllMatchesDefault pins that an explicit all-active
+// list is byte-identical to the default (no option) round — the active-set
+// machinery must be a no-op when every node participates.
+func TestWithActiveNodesAllMatchesDefault(t *testing.T) {
+	payload := RandomPayload(5, 4)
+	uplink := map[int][]bool{0: {true, false}, 1: {false, true}, 2: {true, true}}
+	run := func(opts ...ExchangeOption) *ExchangeResult {
+		n, err := NewNetwork(threeNodeConfig(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Exchange(payload, uplink, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run()
+	listed := run(WithActiveNodes(0, 1, 2))
+	if !reflect.DeepEqual(plain, listed) {
+		t.Fatal("explicit all-active round differs from default round")
+	}
+}
+
+func TestWithActiveNodesSubset(t *testing.T) {
+	n, err := NewNetwork(threeNodeConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := RandomPayload(6, 4)
+	uplink := map[int][]bool{0: {true, false, true}, 1: {true, true}, 2: {false, true, false}}
+	res, err := n.Exchange(payload, uplink, WithActiveNodes(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		nr := res.Nodes[i]
+		if nr.DownlinkErr != nil || !bytes.Equal(nr.DownlinkPayload, payload) {
+			t.Errorf("active node %d: downlink err=%v payload=%x", i, nr.DownlinkErr, nr.DownlinkPayload)
+		}
+		if nr.UplinkErr != nil || !reflect.DeepEqual(nr.UplinkBits, uplink[i]) {
+			t.Errorf("active node %d: uplink err=%v bits=%v", i, nr.UplinkErr, nr.UplinkBits)
+		}
+	}
+	inactive := res.Nodes[1]
+	if !errors.Is(inactive.DownlinkErr, ErrNodeInactive) {
+		t.Errorf("inactive node downlink err = %v, want ErrNodeInactive", inactive.DownlinkErr)
+	}
+	if !errors.Is(inactive.DetectionErr, ErrNodeInactive) {
+		t.Errorf("inactive node detection err = %v, want ErrNodeInactive", inactive.DetectionErr)
+	}
+	if inactive.UplinkBits != nil || inactive.UplinkErr != nil {
+		t.Errorf("inactive node demodulated: bits=%v err=%v", inactive.UplinkBits, inactive.UplinkErr)
+	}
+	// The restricted round must not leak into the next default round.
+	res2, err := n.Exchange(payload, uplink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res2.Nodes {
+		if res2.Nodes[i].DownlinkErr != nil {
+			t.Errorf("node %d still inactive after unrestricted round: %v", i, res2.Nodes[i].DownlinkErr)
+		}
+	}
+}
+
+// TestExchangeScheduledNoSchedule pins the degenerate cycle: on a network
+// without a frame schedule, ExchangeScheduled is exactly one all-active
+// Exchange round.
+func TestExchangeScheduledNoSchedule(t *testing.T) {
+	payload := RandomPayload(7, 5)
+	uplink := map[int][]bool{0: {true}, 1: {false, true}, 2: {true, true, false}}
+	na, err := NewNetwork(threeNodeConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NewNetwork(threeNodeConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := na.Exchange(payload, uplink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle, err := nb.ExchangeScheduled(payload, uplink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycle.Rounds) != 1 {
+		t.Fatalf("unscheduled cycle ran %d rounds, want 1", len(cycle.Rounds))
+	}
+	if !reflect.DeepEqual(plain, cycle.Rounds[0]) {
+		t.Fatal("unscheduled cycle round differs from a plain Exchange")
+	}
+}
+
+// TestExchangeScheduledCycle runs one full cycle on the 4-node / capacity-2
+// deployment: every node must be served exactly once, tone-sharing nodes in
+// alternating frame groups, and the shared FSK pairs must decode correctly
+// because the scheduled-out tag of each pair holds a static switch state.
+func TestExchangeScheduledCycle(t *testing.T) {
+	n, err := NewNetwork(fourNodeScheduledConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := RandomPayload(8, 4)
+	uplink := map[int][]bool{
+		0: {true, false, true},
+		1: {false, true},
+		2: {true, true, false},
+		3: {false, false, true},
+	}
+	cycle, err := n.ExchangeScheduled(payload, uplink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := n.Schedule()
+	if len(cycle.Rounds) != sched.Frames() {
+		t.Fatalf("cycle ran %d rounds, want %d", len(cycle.Rounds), sched.Frames())
+	}
+	for g, round := range cycle.Rounds {
+		for i := range round.Nodes {
+			inRound := sched.GroupOf(i) == g
+			gotInactive := errors.Is(round.Nodes[i].DownlinkErr, ErrNodeInactive)
+			if inRound == gotInactive {
+				t.Errorf("round %d node %d: in-group=%v but inactive=%v", g, i, inRound, gotInactive)
+			}
+		}
+	}
+	for i, nr := range cycle.Nodes {
+		if nr.DownlinkErr != nil || !bytes.Equal(nr.DownlinkPayload, payload) {
+			t.Errorf("node %d: merged downlink err=%v payload=%x", i, nr.DownlinkErr, nr.DownlinkPayload)
+		}
+		if nr.DetectionErr != nil {
+			t.Errorf("node %d: merged detection err=%v", i, nr.DetectionErr)
+		}
+		if nr.UplinkErr != nil || !reflect.DeepEqual(nr.UplinkBits, uplink[i]) {
+			t.Errorf("node %d: merged uplink err=%v bits=%v want %v", i, nr.UplinkErr, nr.UplinkBits, uplink[i])
+		}
+	}
+}
+
+// TestLocalizeScheduled pins sensing on a scheduled network: beacons run one
+// frame group at a time, and the merged detections place every node.
+func TestLocalizeScheduled(t *testing.T) {
+	cfg := fourNodeScheduledConfig(t)
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := n.Localize(nil, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != len(cfg.Nodes) {
+		t.Fatalf("got %d detections, want %d", len(dets), len(cfg.Nodes))
+	}
+	for i, d := range dets {
+		if diff := d.Range - cfg.Nodes[i].Range; diff > 0.5 || diff < -0.5 {
+			t.Errorf("node %d localized at %.2f m, true range %.2f m", i, d.Range, cfg.Nodes[i].Range)
+		}
+	}
+}

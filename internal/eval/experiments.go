@@ -71,6 +71,7 @@ var Registry = []struct {
 	{"ext", Extensions},
 	{"scenarios", Scenarios},
 	{"recovery", Recovery},
+	{"fleet", Fleet},
 }
 
 // Lookup finds an experiment by ID.

@@ -1,4 +1,4 @@
-package mac
+package mac_test
 
 import (
 	"bytes"
@@ -10,6 +10,7 @@ import (
 	"biscatter/internal/channel"
 	"biscatter/internal/core"
 	"biscatter/internal/fault"
+	"biscatter/internal/mac"
 )
 
 // macFaultProfiles are the §6 medium-access stress conditions: a half-duty
@@ -46,7 +47,7 @@ type slotTrace struct {
 // slot schedule under a fault profile: our radar (ID 0 of two sharing the
 // band) transmits only in the slots the scheduler grants it, exactly the
 // §6 sharing model layered over the full exchange pipeline.
-func runScheduledExchanges(t *testing.T, s Scheduler, p *fault.Profile, workers, slots int) []slotTrace {
+func runScheduledExchanges(t *testing.T, s mac.Scheduler, p *fault.Profile, workers, slots int) []slotTrace {
 	t.Helper()
 	net, err := core.NewNetwork(core.Config{
 		Nodes: []core.NodeConfig{
@@ -97,9 +98,9 @@ func runScheduledExchanges(t *testing.T, s Scheduler, p *fault.Profile, workers,
 // exchanges under the jammed and mobile profiles must produce byte-identical
 // traces at one and four workers.
 func TestMACFaultWorkerInvariance(t *testing.T) {
-	schedulers := []Scheduler{
-		TDMA{Radars: 2},
-		SlottedAloha{P: 0.6},
+	schedulers := []mac.Scheduler{
+		mac.TDMA{Radars: 2},
+		mac.SlottedAloha{P: 0.6},
 	}
 	const slots = 4
 	for name, p := range macFaultProfiles() {

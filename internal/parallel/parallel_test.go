@@ -309,3 +309,42 @@ func TestArenaFootprintStabilizes(t *testing.T) {
 		t.Fatal("pool arena footprint should be nonzero after arena loops")
 	}
 }
+
+// TestForArenaNestedFanOutFootprintBounded pins the overlapping-checkout
+// contract: an inner ForArena issued from inside an outer ForArena body
+// finds the pool's own arenas checked out and must borrow package spares
+// instead. The inner loop's (larger) checkouts therefore never inflate
+// ArenaFootprintBytes — the pool-owned footprint stays at the outer loop's
+// high-water mark no matter how often the nested fan-out runs.
+func TestForArenaNestedFanOutFootprintBounded(t *testing.T) {
+	// Width 1 makes the pool-owned arena set deterministic (a wider pool
+	// warms its arenas in scheduler order, so the footprint baseline races
+	// the warm-up); the nested borrow path is identical at any width.
+	p := New(1)
+	// Reach the outer loop's steady-state high-water mark first.
+	for i := 0; i < 2; i++ {
+		p.ForArena(8, func(_ int, a *dsp.Arena) { a.Float(256) })
+	}
+	base := p.ArenaFootprintBytes()
+	if base == 0 {
+		t.Fatal("pool arena footprint should be nonzero after warm-up")
+	}
+	for iter := 0; iter < 20; iter++ {
+		p.ForArena(8, func(i int, a *dsp.Arena) {
+			outer := a.Float(256)
+			outer[0] = float64(i)
+			// Nested fan-out with checkouts far beyond the outer loop's:
+			// these must land in borrowed spares, not the pool's arenas.
+			p.ForArena(4, func(j int, inner *dsp.Arena) {
+				f := inner.Float(8192)
+				f[0] = float64(i + j)
+			})
+			if outer[0] != float64(i) {
+				t.Errorf("outer checkout clobbered by nested loop at i=%d", i)
+			}
+		})
+	}
+	if got := p.ArenaFootprintBytes(); got != base {
+		t.Fatalf("nested fan-out inflated pool footprint: %d before, %d after", base, got)
+	}
+}

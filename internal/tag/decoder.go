@@ -55,8 +55,14 @@ var (
 //     per-candidate matched window: the Goertzel power at the candidate
 //     beat over the candidate's own chirp duration.
 //
-// A Decoder reuses internal scratch buffers across calls and is therefore
-// not safe for concurrent use; give each goroutine its own Decoder.
+// # Concurrency contract
+//
+// A Decoder is a single-threaded component: it reuses internal scratch
+// buffers across calls, so it is not safe for concurrent use and returned
+// slices are valid only until the next call on the same Decoder. Give each
+// goroutine its own Decoder; separate Decoders share nothing mutable. This
+// is the same contract as core.Network, which owns one Decoder per tag —
+// see core.Fleet for serving many networks concurrently.
 type Decoder struct {
 	// Alphabet is the agreed CSSK constellation.
 	Alphabet *cssk.Alphabet

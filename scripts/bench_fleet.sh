@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs BenchmarkFleet (N two-node networks resident on a GOMAXPROCS-engine
+# fleet, each driven by its own submitting goroutine) and records the
+# serving-layer throughput curve into BENCH_fleet.json at the repo root:
+# aggregate exchanges/sec and p99 submit-to-done latency at 1, 4 and 16
+# concurrent networks, plus the host core count that bounds the attainable
+# scaling.
+#
+# Per-network results are byte-identical to a standalone Network with the
+# same seed at every tenancy (TestFleetMatchesSerialNetwork pins this);
+# only throughput and latency change. Usage:
+#
+#   scripts/bench_fleet.sh [benchtime]    # default 5x
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-5x}"
+out=BENCH_fleet.json
+
+raw="$(go test -run '^$' -bench 'BenchmarkFleet$' -benchtime "$benchtime" -benchmem .)"
+echo "$raw"
+
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+goversion="$(go env GOVERSION)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# Lines look like:
+#   BenchmarkFleet/networks=4-8  10  87213097 ns/op  11.47 exchanges/sec  91.09 p99-latency-ms  ...
+# (metric order can vary, so parse value/unit pairs instead of fixed columns).
+echo "$raw" | awk -v cores="$cores" -v gover="$goversion" -v date="$date_utc" '
+  /^BenchmarkFleet\/networks=/ {
+    split($1, parts, "=")
+    w = parts[2]; sub(/-[0-9]+$/, "", w)
+    n++; nets[n] = w
+    for (i = 3; i < NF; i += 2) {
+      if ($(i+1) == "ns/op") ns[n] = $i
+      else if ($(i+1) == "exchanges/sec") xps[n] = $i
+      else if ($(i+1) == "p99-latency-ms") p99[n] = $i
+      else if ($(i+1) == "B/op") bytes[n] = $i
+      else if ($(i+1) == "allocs/op") allocs[n] = $i
+    }
+  }
+  /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+  END {
+    if (n == 0) { print "bench_fleet.sh: no BenchmarkFleet results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"schema\": 1,\n"
+    printf "  \"benchmark\": \"BenchmarkFleet\",\n"
+    printf "  \"scenario\": \"N two-node networks on a GOMAXPROCS-engine fleet, one submitter goroutine per network, 16 chirps/bit\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cpu_cores\": %d,\n", cores
+    printf "  \"note\": \"exchanges_per_sec is aggregate fleet throughput; p99_latency_ms is the submit-to-done fleet.latency.seconds histogram p99. Per-network exchange results are byte-identical to serial runs at every tenancy; scaling is bounded by cpu_cores.\",\n"
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) {
+      # %.0f, not %d: mawk printf clamps %d at 2^31-1 and these are ns counts.
+      printf "    {\"networks\": %d, \"ns_per_op\": %.0f, \"exchanges_per_sec\": %.2f, \"p99_latency_ms\": %.2f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"throughput_vs_networks_1\": %.2f}%s\n", \
+        nets[i], ns[i], xps[i], p99[i], bytes[i], allocs[i], xps[i] / xps[1], (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+  }
+' > "$out"
+
+echo "wrote $out:"
+cat "$out"
