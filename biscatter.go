@@ -104,6 +104,7 @@ import (
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
 	"biscatter/internal/telemetry"
+	"biscatter/internal/trace"
 )
 
 // Re-exported configuration and result types. The aliases share identity
@@ -227,6 +228,39 @@ type (
 	FrameSchedule = mac.FrameSchedule
 	// ScheduledResult is the outcome of one full frame-schedule cycle.
 	ScheduledResult = core.ScheduledResult
+	// ExchangeID is the deterministic per-exchange identity derived from
+	// (seed, network id, sequence number) — reproducible across runs, unique
+	// within a deployment.
+	ExchangeID = telemetry.ExchangeID
+	// Trace is one exchange's causal span tree, collected by a Tracer or
+	// FlightRecorder attached via WithTracer / WithFlightRecorder.
+	Trace = telemetry.Trace
+	// SpanNode is one node of a Trace: a named, timed pipeline stage.
+	SpanNode = telemetry.SpanNode
+	// Tracer collects exchange Traces up to a bounded limit; export them with
+	// WriteTraceJSONL or WriteChromeTrace.
+	Tracer = telemetry.Tracer
+	// FlightRecorder keeps a bounded lock-free ring of the most recent
+	// exchange Traces and dumps them when a trip fires (exchange error,
+	// circuit-breaker open, or an explicit Trip call).
+	FlightRecorder = telemetry.FlightRecorder
+	// DebugConfig selects which observability surfaces the debug HTTP
+	// handler exposes (/metrics, /metrics.json, /debug/trace, /debug/flight,
+	// /debug/pprof).
+	DebugConfig = telemetry.DebugConfig
+	// ExchangeRecord is a replayable capture of a network spec plus a
+	// sequence of recorded exchanges; see NewExchangeRecorder and
+	// ReplayRecord.
+	ExchangeRecord = trace.ExchangeRecord
+	// ExchangeRecorder wraps a fresh Network and captures every exchange
+	// into an ExchangeRecord.
+	ExchangeRecorder = core.ExchangeRecorder
+	// ReplayReport is the outcome of ReplayRecord: round count and any
+	// divergences from the recorded outcomes.
+	ReplayReport = core.ReplayReport
+	// ReplayMismatch is one divergence between a recorded exchange and its
+	// replay.
+	ReplayMismatch = core.ReplayMismatch
 )
 
 // Forward-error-correction schemes for FECConfig.
@@ -328,6 +362,56 @@ func WithTelemetry(rec Recorder) Option { return core.WithTelemetry(rec) }
 
 // NewMetrics returns an empty telemetry registry for WithMetrics.
 func NewMetrics() *Metrics { return telemetry.New() }
+
+// NewTracer returns a bounded trace collector for WithTracer.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// NewFlightRecorder returns a flight recorder retaining the last depth
+// exchange traces (non-positive selects the default depth of 32) for
+// WithFlightRecorder.
+func NewFlightRecorder(depth int) *FlightRecorder { return telemetry.NewFlightRecorder(depth) }
+
+// WithTracer attaches a trace collector: every exchange produces a causal
+// span tree covering frame build, per-node downlink decode, scene
+// synthesis, radar observation, detection and uplink demodulation. With no
+// tracer (and no flight recorder) attached, the tracing path is fully
+// disabled and allocation-free.
+func WithTracer(t *Tracer) Option { return core.WithTracer(t) }
+
+// WithFlightRecorder attaches a flight recorder that retains the most
+// recent exchange traces and dumps them on exchange errors and
+// circuit-breaker trips.
+func WithFlightRecorder(f *FlightRecorder) Option { return core.WithFlightRecorder(f) }
+
+// WithNetworkID assigns the network identity mixed into every ExchangeID
+// and stamped on traces and telemetry events. Fleet.AddNetwork assigns
+// dense ids automatically.
+func WithNetworkID(id int) Option { return core.WithNetworkID(id) }
+
+// NewExchangeRecorder wraps a freshly built Network (no exchanges run yet)
+// and records every subsequent rec.Exchange / rec.ExchangeScheduled round
+// into a replayable ExchangeRecord.
+func NewExchangeRecorder(n *Network) (*ExchangeRecorder, error) {
+	return core.NewExchangeRecorder(n)
+}
+
+// ReplayRecord rebuilds the recorded network and re-runs every recorded
+// round, comparing exchange IDs, errors and per-node outcomes bit-exactly
+// against the record. Extra options (e.g. WithWorkers) may tune execution
+// but must not change results.
+func ReplayRecord(rec *ExchangeRecord, opts ...Option) (*ReplayReport, error) {
+	return core.ReplayRecord(rec, opts...)
+}
+
+// SaveExchangeRecord writes an ExchangeRecord to a versioned binary file.
+func SaveExchangeRecord(path string, rec *ExchangeRecord) error {
+	return trace.SaveExchange(path, rec)
+}
+
+// LoadExchangeRecord reads an ExchangeRecord written by SaveExchangeRecord.
+func LoadExchangeRecord(path string) (*ExchangeRecord, error) {
+	return trace.LoadExchange(path)
+}
 
 // WithMinChirps pads a single exchange's downlink frame to at least n
 // chirps for extra slow-time integration gain.

@@ -8,8 +8,11 @@
 //	biscatter-radar -tag 127.0.0.1:7001 -range 3.0 -payload "hello" -rounds 3
 //
 // Observability: -debug-addr serves live pipeline telemetry over HTTP
-// (/metrics.json, /debug/vars, /debug/pprof/) while rounds run, and
-// -metrics-out dumps the final telemetry snapshot as JSON on exit.
+// (/metrics (OpenMetrics), /metrics.json, /debug/trace, /debug/vars,
+// /debug/pprof/) while rounds run, -metrics-out dumps the final telemetry
+// snapshot as JSON on exit, and -trace-out writes one causal span tree per
+// round — including the tag round-trip over UDP — as Chrome trace_event
+// (.json) or JSONL.
 package main
 
 import (
@@ -37,17 +40,22 @@ func main() {
 	seed := flag.Int64("seed", 3, "noise seed")
 	debugAddr := flag.String("debug-addr", "", "serve live telemetry over HTTP on this address (e.g. localhost:6060)")
 	metricsOut := flag.String("metrics-out", "", "write the final telemetry snapshot to this JSON file")
+	traceOut := flag.String("trace-out", "", "write per-round exchange traces to this file (.json = Chrome trace_event, else JSONL)")
 	flag.Parse()
 
-	if err := run(*tagAddr, *listen, *tagRange, *payload, *bits, *fecName, *rounds, *seed, *debugAddr, *metricsOut); err != nil {
+	if err := run(*tagAddr, *listen, *tagRange, *payload, *bits, *fecName, *rounds, *seed, *debugAddr, *metricsOut, *traceOut); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(tagAddr, listen string, tagRange float64, payload string, bits int, fecName string, rounds int, seed int64, debugAddr, metricsOut string) error {
+func run(tagAddr, listen string, tagRange float64, payload string, bits int, fecName string, rounds int, seed int64, debugAddr, metricsOut, traceOut string) error {
 	var metrics *telemetry.Metrics
 	if debugAddr != "" || metricsOut != "" {
 		metrics = telemetry.New()
+	}
+	var tracer *telemetry.Tracer
+	if debugAddr != "" || traceOut != "" {
+		tracer = telemetry.NewTracer()
 	}
 	fecCfg, err := fec.ParseConfig(fecName)
 	if err != nil {
@@ -64,12 +72,15 @@ func run(tagAddr, listen string, tagRange float64, payload string, bits int, fec
 		return err
 	}
 	if debugAddr != "" {
-		ln, derr := telemetry.ServeDebug(debugAddr, metrics)
+		ln, derr := telemetry.ServeDebugConfig(debugAddr, telemetry.DebugConfig{
+			Metrics: metrics,
+			Tracer:  tracer,
+		})
 		if derr != nil {
 			return fmt.Errorf("debug server: %w", derr)
 		}
 		defer ln.Close()
-		log.Printf("telemetry on http://%s/metrics.json (also /debug/vars, /debug/pprof/)", ln.Addr())
+		log.Printf("telemetry on http://%s/metrics.json (also /metrics, /debug/trace, /debug/vars, /debug/pprof/)", ln.Addr())
 	}
 	conn, err := netio.Listen(listen)
 	if err != nil {
@@ -84,7 +95,7 @@ func run(tagAddr, listen string, tagRange float64, payload string, bits int, fec
 		conn.Addr(), peer, tagRange, netw.Link().DownlinkSNRdB(tagRange))
 
 	for round := 0; round < rounds; round++ {
-		if err := exchange(conn, peer, netw, uint32(round), []byte(payload), tagRange); err != nil {
+		if err := exchange(conn, peer, netw, tracer, uint32(round), []byte(payload), tagRange); err != nil {
 			return fmt.Errorf("round %d: %w", round, err)
 		}
 	}
@@ -93,16 +104,37 @@ func run(tagAddr, listen string, tagRange float64, payload string, bits int, fec
 			return fmt.Errorf("metrics-out: %w", err)
 		}
 	}
+	if traceOut != "" {
+		if err := telemetry.WriteTraceFile(traceOut, tracer.Traces()); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
 	return nil
 }
 
 func exchange(conn *netio.Node, peer *net.UDPAddr, netw *core.Network,
-	seq uint32, payload []byte, tagRange float64) error {
+	tracer *telemetry.Tracer, seq uint32, payload []byte, tagRange float64) (err error) {
 
 	cfg := netw.Config()
+	// The exchange runs as a hand-driven pipeline (the tag lives in another
+	// process), so the span tree is built by hand too: the round's sequence
+	// number doubles as the exchange sequence so the radar's and tag's
+	// traces correlate by ID across the two processes.
+	var root *telemetry.SpanNode
+	if tracer != nil {
+		tr := telemetry.BeginTrace(telemetry.NewExchangeID(cfg.Seed, 0, uint64(seq)), 0, uint64(seq), "exchange")
+		root = tr.Root
+		defer func() {
+			root.Fail(err)
+			root.End()
+			tracer.Collect(tr)
+		}()
+	}
 	// Size the frame for the demo's worst-case uplink message (8 bits at
 	// ChirpsPerBit chirps each) so every uplink bit gets a full window.
+	fspan := root.Child("frame.build", -1)
 	frame, err := netw.BuildDownlinkFrame(payload, 8*cfg.ChirpsPerBit)
+	fspan.End()
 	if err != nil {
 		return err
 	}
@@ -119,7 +151,10 @@ func exchange(conn *netio.Node, peer *net.UDPAddr, netw *core.Network,
 		DownlinkSNRdB:  netw.Link().DownlinkSNRdB(tagRange),
 		Durations:      durs,
 	}
+	tspan := root.Child("tag.roundtrip", 0)
 	if err := conn.Send(peer, fd); err != nil {
+		tspan.Fail(err)
+		tspan.End()
 		return err
 	}
 
@@ -129,7 +164,10 @@ func exchange(conn *netio.Node, peer *net.UDPAddr, netw *core.Network,
 	for report == nil || plan == nil {
 		msg, _, err := conn.Recv(5 * time.Second)
 		if err != nil {
-			return fmt.Errorf("waiting for tag: %w", err)
+			err = fmt.Errorf("waiting for tag: %w", err)
+			tspan.Fail(err)
+			tspan.End()
+			return err
 		}
 		switch m := msg.(type) {
 		case *netio.TagReport:
@@ -142,10 +180,12 @@ func exchange(conn *netio.Node, peer *net.UDPAddr, netw *core.Network,
 			}
 		}
 	}
+	tspan.End()
 	log.Printf("frame %d: tag report %v payload=%q", seq, report.Status, report.Payload)
 
 	// Synthesize the backscatter the radar would observe, using the tag's
 	// announced plan as the switching schedule.
+	sspan := root.Child("scene.build", -1)
 	bits := plan.GetBits()
 	states := squareStates(bits, plan.F0, plan.F1, int(plan.ChirpsPerBit), cfg.Period, len(frame.Chirps))
 	scene := radar.Scene{
@@ -156,24 +196,39 @@ func exchange(conn *netio.Node, peer *net.UDPAddr, netw *core.Network,
 			PowerDBm: netw.Link().UplinkRxPowerDBm(tagRange),
 		}},
 	}
+	sspan.End()
+	ospan := root.Child("radar.observe", -1)
 	capt := netw.Radar().Observe(frame, scene)
+	ospan.End()
+	cspan := root.Child("radar.if_correction", -1)
 	cm, grid := netw.Radar().CorrectedMatrix(capt)
 	matrix := radar.SubtractBackgroundMag(radar.MagnitudeMatrix(cm))
+	cspan.End()
+	dspan := root.Child("detect", 0)
 	det, err := netw.Radar().DetectTag(matrix, grid, plan.F0, cfg.Period)
 	if err != nil {
 		det, err = netw.Radar().DetectTag(matrix, grid, plan.F1, cfg.Period)
 	}
 	if err != nil {
-		return fmt.Errorf("tag not detected: %w", err)
+		err = fmt.Errorf("tag not detected: %w", err)
+		dspan.Fail(err)
+		dspan.End()
+		return err
 	}
+	dspan.End()
+	uspan := root.Child("uplink", 0)
 	got, err := netw.Radar().DecodeUplinkFSK(matrix, det.Bin, radar.UplinkFSKConfig{
 		F0: plan.F0, F1: plan.F1,
 		ChirpsPerBit: int(plan.ChirpsPerBit),
 		Period:       cfg.Period,
 	})
 	if err != nil {
+		uspan.Fail(err)
+		uspan.End()
 		return err
 	}
+	uspan.SetAttr("bits", len(got))
+	uspan.End()
 	if len(got) > len(bits) {
 		got = got[:len(bits)]
 	}

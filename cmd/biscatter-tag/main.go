@@ -7,6 +7,11 @@
 // enables.
 //
 //	biscatter-tag -listen 127.0.0.1:7001 -id 1
+//
+// Observability: -trace-out writes one causal span tree per received frame
+// (capture, decode, reply) as Chrome trace_event (.json) or JSONL. Traces
+// use the radar's frame sequence number as the exchange sequence, so a
+// radar-side trace of the same run correlates by exchange ID.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"biscatter/internal/fec"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/netio"
+	"biscatter/internal/telemetry"
 	"biscatter/internal/trace"
 )
 
@@ -32,14 +38,15 @@ func main() {
 	uplink := flag.String("uplink", "telemetry", "uplink message (its bytes become uplink bits)")
 	rounds := flag.Int("rounds", 0, "exit after this many frames (0 = run forever)")
 	record := flag.String("record", "", "directory to record envelope captures into (trace files)")
+	traceOut := flag.String("trace-out", "", "write per-frame exchange traces to this file (.json = Chrome trace_event, else JSONL)")
 	flag.Parse()
 
-	if err := run(*listen, uint8(*id), *bits, *fecName, *seed, *uplink, *rounds, *record); err != nil {
+	if err := run(*listen, uint8(*id), *bits, *fecName, *seed, *uplink, *rounds, *record, *traceOut); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, id uint8, bits int, fecName string, seed int64, uplink string, rounds int, record string) error {
+func run(listen string, id uint8, bits int, fecName string, seed int64, uplink string, rounds int, record, traceOut string) error {
 	// Build the same network stack the radar uses; only the tag half is
 	// exercised here. The placement range is irrelevant for the tag process
 	// (the radar owns the channel model).
@@ -68,6 +75,16 @@ func run(listen string, id uint8, bits int, fecName string, seed int64, uplink s
 	uplinkBits := bytesToBits([]byte(uplink))
 	f0, f1 := node.Uplink.F0, node.Uplink.F1
 
+	var tracer *telemetry.Tracer
+	if traceOut != "" {
+		tracer = telemetry.NewTracer()
+		defer func() {
+			if err := telemetry.WriteTraceFile(traceOut, tracer.Traces()); err != nil {
+				log.Printf("trace-out: %v", err)
+			}
+		}()
+	}
+
 	for round := 0; rounds == 0 || round < rounds; round++ {
 		msg, from, err := conn.Recv(0)
 		if err != nil {
@@ -76,7 +93,7 @@ func run(listen string, id uint8, bits int, fecName string, seed int64, uplink s
 		}
 		switch m := msg.(type) {
 		case *netio.FrameDescriptor:
-			if err := handleFrame(conn, from, netw, node, m, uplinkBits, f0, f1, record); err != nil {
+			if err := handleFrame(conn, from, netw, node, tracer, m, uplinkBits, f0, f1, record); err != nil {
 				log.Printf("frame %d: %v", m.Sequence, err)
 			}
 		case *netio.Command:
@@ -95,8 +112,22 @@ func run(listen string, id uint8, bits int, fecName string, seed int64, uplink s
 }
 
 func handleFrame(conn *netio.Node, from *net.UDPAddr, netw *core.Network,
-	node *core.Node, m *netio.FrameDescriptor, uplinkBits []bool, f0, f1 float64, record string) error {
+	node *core.Node, tracer *telemetry.Tracer, m *netio.FrameDescriptor,
+	uplinkBits []bool, f0, f1 float64, record string) (err error) {
 
+	// The radar's frame sequence is this process's exchange sequence: both
+	// sides derive the same exchange ID from (seed, network 0, sequence), so
+	// their traces join up offline even though neither saw the other's.
+	var root *telemetry.SpanNode
+	if tracer != nil {
+		tr := telemetry.BeginTrace(telemetry.NewExchangeID(netw.Config().Seed, 0, uint64(m.Sequence)), 0, uint64(m.Sequence), "exchange")
+		root = tr.Root
+		defer func() {
+			root.Fail(err)
+			root.End()
+			tracer.Collect(tr)
+		}()
+	}
 	base := fmcw.ChirpParams{
 		StartFrequency: m.StartFrequency,
 		Bandwidth:      m.Bandwidth,
@@ -111,7 +142,10 @@ func handleFrame(conn *netio.Node, from *net.UDPAddr, netw *core.Network,
 	if err != nil {
 		return err
 	}
+	cspan := root.Child("tag.capture", int(node.Tag.ID))
 	x := node.Tag.FrontEnd.CaptureFrame(frame, m.DownlinkSNRdB)
+	cspan.SetAttr("samples", len(x))
+	cspan.End()
 	if record != "" {
 		path := filepath.Join(record, fmt.Sprintf("frame%04d.bsct", m.Sequence))
 		err := trace.SaveEnvelope(path, &trace.EnvelopeCapture{
@@ -126,7 +160,10 @@ func handleFrame(conn *netio.Node, from *net.UDPAddr, netw *core.Network,
 			log.Printf("frame %d: record: %v", m.Sequence, err)
 		}
 	}
+	dspan := root.Child("tag.decode", int(node.Tag.ID))
 	payload, diag, derr := node.Tag.Decoder.DecodePacket(x, netw.Packet())
+	dspan.Fail(derr)
+	dspan.End()
 	report := &netio.TagReport{
 		Sequence:      m.Sequence,
 		TagID:         node.Tag.ID,
@@ -148,7 +185,10 @@ func handleFrame(conn *netio.Node, from *net.UDPAddr, netw *core.Network,
 		report.Status = netio.StatusBadCRC
 		log.Printf("frame %d: decode failed: %v", m.Sequence, derr)
 	}
+	rspan := root.Child("tag.reply", int(node.Tag.ID))
+	defer rspan.End()
 	if err := conn.Send(from, report); err != nil {
+		rspan.Fail(err)
 		return err
 	}
 	plan := &netio.ModulationPlan{
@@ -159,7 +199,11 @@ func handleFrame(conn *netio.Node, from *net.UDPAddr, netw *core.Network,
 		ChirpsPerBit: uint16(node.Uplink.ChirpsPerBit),
 	}
 	plan.SetBits(uplinkBits)
-	return conn.Send(from, plan)
+	if err := conn.Send(from, plan); err != nil {
+		rspan.Fail(err)
+		return err
+	}
+	return nil
 }
 
 func bytesToBits(data []byte) []bool {

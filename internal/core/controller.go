@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"biscatter/internal/fec"
 )
@@ -196,6 +197,12 @@ func (lc *LinkController) rebuild() error {
 	if err != nil {
 		return fmt.Errorf("core: rebuilding at mode %q: %w", mode.Name, err)
 	}
+	// Carry the exchange sequence across the rebuild so exchange IDs stay
+	// unique over the controller's lifetime (the tracer, flight recorder
+	// and recorder also ride along, via the base config).
+	if lc.net != nil {
+		net.seq = lc.net.seq
+	}
 	lc.net = net
 	if m := net.cfg.Metrics; m != nil {
 		m.Gauge("core.recovery.level").Set(float64(lc.level))
@@ -277,6 +284,7 @@ func (lc *LinkController) Deliver(ctx context.Context, nodeIdx int, payload []by
 		} else {
 			br.state = BreakerOpen
 			lc.counter("core.recovery.breaker.reopen")
+			lc.net.flight.Trip("breaker reopen: node " + strconv.Itoa(nodeIdx))
 		}
 		return rep, nil
 	}
@@ -332,6 +340,9 @@ func (lc *LinkController) observe(nodeIdx int, rep DeliveryReport) {
 			br.state = BreakerOpen
 			br.idleSlots = 0
 			lc.counter("core.recovery.breaker.open")
+			// Quarantining a node is exactly the moment the recent exchange
+			// history matters: dump the flight recorder's black box.
+			lc.net.flight.Trip("breaker open: node " + strconv.Itoa(nodeIdx))
 		}
 	}
 }

@@ -113,6 +113,22 @@ type Config struct {
 	// Recorder receives structured pipeline events (exchange begin/end,
 	// per-node decode / detection / demod outcomes); nil disables them.
 	Recorder telemetry.Recorder
+	// Tracer collects one causal span tree per exchange — the full pipeline
+	// breakdown (frame build, per-node downlink decodes, radar observe and
+	// IF correction, detection, per-node uplink demods) under a
+	// deterministic exchange identity. Nil disables tracing entirely: the
+	// hot path then never wraps the context or builds spans, so the
+	// zero-allocation exchange contract holds. A tracer may be shared
+	// across networks (a Fleet shares one).
+	Tracer *telemetry.Tracer
+	// Flight keeps the last N exchange traces in a bounded ring and dumps
+	// them when tripped — on exchange errors and when a link controller's
+	// circuit breaker opens. Nil disables it.
+	Flight *telemetry.FlightRecorder
+	// NetworkID identifies this network in exchange IDs, traces and
+	// events. A Fleet assigns its dense network id; standalone networks
+	// default to 0.
+	NetworkID int
 }
 
 func (c Config) withDefaults() Config {
@@ -186,8 +202,19 @@ type Network struct {
 	pool     *parallel.Pool
 	tel      coreTel
 	rec      telemetry.Recorder
+	tracer   *telemetry.Tracer
+	flight   *telemetry.FlightRecorder
 	radarInj *fault.RadarInjector
 	scr      exchangeScratch
+
+	// seq numbers this network's exchanges from 0; together with the seed
+	// and NetworkID it derives each round's deterministic ExchangeID. It
+	// always advances (one integer add), so identities stay aligned whether
+	// or not tracing is on.
+	seq uint64
+	// exchID is the current round's ExchangeID in hex, "" outside a round
+	// or when no sink wants it; event() stamps it onto every event.
+	exchID string
 }
 
 // exchangeScratch is the per-exchange buffer set the pipeline reuses: the
@@ -292,6 +319,8 @@ func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
 		pool:     parallel.New(cfg.Workers).Instrument(cfg.Metrics),
 		tel:      newCoreTel(cfg.Metrics, len(cfg.Nodes)),
 		rec:      cfg.Recorder,
+		tracer:   cfg.Tracer,
+		flight:   cfg.Flight,
 		radarInj: fault.NewRadarInjector(cfg.Faults, cfg.Seed, cfg.Metrics),
 	}
 	chirpRate := 1 / cfg.Period

@@ -12,6 +12,7 @@ import (
 	"biscatter/internal/fmcw"
 	"biscatter/internal/radar"
 	"biscatter/internal/tag"
+	"biscatter/internal/telemetry"
 )
 
 // NodeResult is the outcome of one exchange for one node.
@@ -153,12 +154,42 @@ func (n *Network) Exchange(payload []byte, uplinkBits map[int][]bool, opts ...Ex
 // node owns its seeded RNG, so the result is byte-identical for any worker
 // count (see Config.Workers / WithWorkers).
 func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBits map[int][]bool, opts ...ExchangeOption) (res *ExchangeResult, err error) {
+	// The sequence counter always advances so exchange identities stay
+	// aligned whether or not any identity consumer is attached; the ID
+	// itself (and the context wrap) is built only when one is, keeping the
+	// disabled path allocation-free.
+	seq := n.seq
+	n.seq++
+	var root *telemetry.SpanNode
+	var tr *telemetry.Trace
+	if n.tracer != nil || n.flight != nil || n.rec != nil {
+		id := telemetry.NewExchangeID(n.cfg.Seed, n.cfg.NetworkID, seq)
+		if n.rec != nil {
+			n.exchID = id.String()
+		}
+		if n.tracer != nil || n.flight != nil {
+			tr = telemetry.BeginTrace(id, n.cfg.NetworkID, seq, "exchange")
+			root = tr.Root
+			ctx = telemetry.ContextWithSpan(telemetry.ContextWithExchangeID(ctx, id), root)
+		}
+	}
 	xsp := n.tel.exchange.Span()
 	defer func() {
 		xsp.End()
 		outcome(err, n.tel.exchOK, n.tel.exchErr)
 		if n.rec != nil {
 			n.event("exchange.end", -1, map[string]any{"ok": err == nil})
+			n.exchID = ""
+		}
+		if tr != nil {
+			root.Fail(err)
+			root.SetAttr("nodes", len(n.nodes))
+			root.End()
+			n.tracer.Collect(tr)
+			n.flight.Add(tr)
+			if err != nil {
+				n.flight.Trip("exchange error: " + err.Error())
+			}
 		}
 	}()
 	if n.rec != nil {
@@ -187,7 +218,9 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 		return nil, err
 	}
 	fsp := n.tel.frameBuild.Span()
+	fspan := root.Child("frame.build", -1)
 	frame, err := n.BuildDownlinkFrame(payload, minChirps)
+	fspan.End()
 	fsp.End()
 	if err != nil {
 		return nil, err
@@ -198,6 +231,7 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 	// are independent (each tag owns its front-end noise source), so they
 	// fan out across the pool. The telemetry handles are atomic, so the
 	// counter totals are deterministic for any worker count.
+	dlStage := root.Child("downlink", -1)
 	if err := n.pool.ForContext(ctx, len(n.nodes), func(i int) error {
 		if !active[i] {
 			// A scheduled-out tag sleeps through the frame (the §4.1 power
@@ -208,7 +242,14 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 		node := n.nodes[i]
 		snr := n.link.DownlinkSNRdB(node.Range)
 		dlsp := n.tel.downlink.Span()
-		pl, diag, derr := node.Tag.ReceiveDownlink(frame, snr, n.pkt)
+		nspan := dlStage.Child("node.downlink", i)
+		dctx := ctx
+		if nspan != nil {
+			dctx = telemetry.ContextWithSpan(ctx, nspan)
+		}
+		pl, diag, derr := node.Tag.ReceiveDownlinkContext(dctx, frame, snr, n.pkt)
+		nspan.Fail(derr)
+		nspan.End()
 		dlsp.End()
 		res.Nodes[i].DownlinkPayload = pl
 		res.Nodes[i].DownlinkErr = derr
@@ -226,11 +267,15 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 		}
 		return nil
 	}); err != nil {
+		dlStage.End()
 		return nil, err
 	}
+	dlStage.End()
 
 	// Uplink: build the radar scene with every node's switch states.
+	sspan := root.Child("scene.build", -1)
 	scene, err := n.buildScene(frame, uplinkBits)
+	sspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +299,9 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 	}
 
 	dtsp := n.tel.detect.Span()
+	dspan := root.Child("detect", -1)
 	dets, diags, derrs, err := n.detectNodes(ctx, matrix, grid)
+	dspan.End()
 	dtsp.End()
 	if err != nil {
 		return nil, err
@@ -272,6 +319,8 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 	}
 	// Demodulate every detected node's uplink; the matrix is read-only
 	// here and each node writes its own result slot.
+	upStage := root.Child("uplink", -1)
+	defer upStage.End()
 	if err := n.pool.ForContext(ctx, len(n.nodes), func(i int) error {
 		node := n.nodes[i]
 		res.Nodes[i].Detection = dets[i]
@@ -299,7 +348,11 @@ func (n *Network) ExchangeContext(ctx context.Context, payload []byte, uplinkBit
 		}
 		if bits, ok := uplinkBits[i]; ok && len(bits) > 0 {
 			usp := n.tel.demod.Span()
+			uspan := upStage.Child("node.uplink", i)
 			got, uerr := n.radar.DecodeUplinkFSK(matrix, dets[i].Bin, node.Uplink)
+			uspan.Fail(uerr)
+			uspan.SetAttr("bits", len(bits))
+			uspan.End()
 			usp.End()
 			if uerr == nil && len(got) > len(bits) {
 				got = got[:len(bits)]

@@ -35,6 +35,13 @@ type FleetConfig struct {
 	// Recorder receives the structured pipeline events of every network
 	// the fleet builds; nil disables them.
 	Recorder telemetry.Recorder
+	// Tracer collects exchange span trees from every network the fleet
+	// builds (trace Network fields carry the fleet-assigned ids, so the
+	// shared stream stays attributable); nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Flight is the shared flight recorder of every network the fleet
+	// builds; nil disables it.
+	Flight *telemetry.FlightRecorder
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -228,15 +235,24 @@ func (f *Fleet) AddNetwork(cfg Config, opts ...Option) (*FleetNetwork, error) {
 	f.networks++
 	f.mu.Unlock()
 
-	all := make([]Option, 0, len(f.defaults)+len(opts)+2)
+	all := make([]Option, 0, len(f.defaults)+len(opts)+5)
 	if f.cfg.Metrics != nil {
 		all = append(all, WithMetrics(f.cfg.Metrics))
 	}
 	if f.cfg.Recorder != nil {
 		all = append(all, WithTelemetry(f.cfg.Recorder))
 	}
+	if f.cfg.Tracer != nil {
+		all = append(all, WithTracer(f.cfg.Tracer))
+	}
+	if f.cfg.Flight != nil {
+		all = append(all, WithFlightRecorder(f.cfg.Flight))
+	}
 	all = append(all, f.defaults...)
 	all = append(all, opts...)
+	// The fleet-assigned dense id always wins: it is what keys the shared
+	// tracer's and recorder's streams.
+	all = append(all, WithNetworkID(id))
 	net, err := NewNetwork(cfg, all...)
 	if err != nil {
 		return nil, fmt.Errorf("core: fleet network %d: %w", id, err)

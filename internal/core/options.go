@@ -103,6 +103,28 @@ func WithTelemetry(rec telemetry.Recorder) Option {
 	}
 }
 
+// WithTracer attaches an exchange tracer: every Exchange round produces a
+// causal span tree (frame build, per-node downlink decodes, radar observe
+// and IF correction, detection, per-node uplink demods) under a
+// deterministic ExchangeID, collected into t and exportable as JSONL or
+// Chrome trace_event. Nil keeps tracing off — the default, and free.
+func WithTracer(t *telemetry.Tracer) Option {
+	return func(c *Config) { c.Tracer = t }
+}
+
+// WithFlightRecorder attaches a flight recorder: the last N exchange traces
+// stay resident in a lock-free ring and dump automatically when an exchange
+// fails or a link controller's circuit breaker opens.
+func WithFlightRecorder(f *telemetry.FlightRecorder) Option {
+	return func(c *Config) { c.Flight = f }
+}
+
+// WithNetworkID sets the network identity stamped into exchange IDs, traces
+// and events. The Fleet applies its dense id automatically.
+func WithNetworkID(id int) Option {
+	return func(c *Config) { c.NetworkID = id }
+}
+
 // WithSchedule attaches a multi-tag frame schedule: auto-assigned FSK pairs
 // are allocated per schedule slot (so tags in different frame groups reuse
 // tones and the deployment can exceed the tone grid), and ExchangeScheduled

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"biscatter/internal/fault"
+	"biscatter/internal/fmcw"
+	"biscatter/internal/mac"
+	"biscatter/internal/telemetry"
+	"biscatter/internal/trace"
+)
+
+// recordNetwork builds a small deployment, records nRounds exchanges, and
+// returns the record after a disk round trip — replay must work from the
+// serialized artifact, not the in-memory one.
+func recordRounds(t *testing.T, cfg Config, nRounds int) *trace.ExchangeRecord {
+	t.Helper()
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewExchangeRecorder(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nRounds; i++ {
+		payload := RandomPayload(int64(i+1), 4)
+		bits := map[int][]bool{0: {true, false, true, i%2 == 0}}
+		if len(cfg.Nodes) > 1 {
+			bits[1] = []bool{i%2 == 1, true}
+		}
+		if _, err := rec.Exchange(payload, bits); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	path := t.TempDir() + "/rec.bsctrace"
+	if err := trace.SaveExchange(path, rec.Record()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.LoadExchange(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+func replayMustMatch(t *testing.T, rec *trace.ExchangeRecord, opts ...Option) {
+	t.Helper()
+	report, err := ReplayRecord(rec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Rounds != len(rec.Rounds) {
+		t.Fatalf("replayed %d rounds, want %d", report.Rounds, len(rec.Rounds))
+	}
+	if !report.OK() {
+		for _, m := range report.Mismatches {
+			t.Errorf("mismatch: %s", m)
+		}
+		t.Fatal("replay diverged from record")
+	}
+}
+
+func TestReplayByteEqualAcrossPresets(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		preset fmcw.Preset
+	}{
+		{"9GHz", fmcw.Radar9GHz()},
+		{"24GHz", fmcw.Radar24GHz()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := recordRounds(t, Config{
+				Preset: tc.preset,
+				Nodes:  []NodeConfig{{ID: 1, Range: 2.5}, {ID: 2, Range: 4}},
+				Seed:   41,
+			}, 2)
+			replayMustMatch(t, rec)
+		})
+	}
+}
+
+func TestReplayByteEqualFaulted(t *testing.T) {
+	rec := recordRounds(t, Config{
+		Nodes: []NodeConfig{{ID: 1, Range: 2.5}, {ID: 2, Range: 5}},
+		Seed:  99,
+		Faults: &fault.Profile{
+			Name:         "replay-jam",
+			Interference: &fault.Interference{TagPowerDBm: -38, RadarPowerDBm: -55, DutyCycle: 0.3},
+			Dropout:      &fault.Dropout{Rate: 0.05},
+		},
+	}, 3)
+	if rec.Spec.Faults == nil {
+		t.Fatal("fault profile lost in serialization")
+	}
+	replayMustMatch(t, rec)
+}
+
+func TestReplayByteEqualAtDifferentWorkerCount(t *testing.T) {
+	rec := recordRounds(t, Config{
+		Nodes:   []NodeConfig{{ID: 1, Range: 2.5}, {ID: 2, Range: 4}},
+		Seed:    7,
+		Workers: 1,
+	}, 2)
+	// Worker count is outside the determinism contract; replay wider.
+	replayMustMatch(t, rec, WithWorkers(4))
+}
+
+func TestReplayByteEqualScheduled(t *testing.T) {
+	sched, err := mac.NewFrameSchedule(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Nodes: []NodeConfig{
+			{ID: 1, Range: 2}, {ID: 2, Range: 3}, {ID: 3, Range: 4}, {ID: 4, Range: 5},
+		},
+		Schedule: sched,
+		Seed:     17,
+	}
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewExchangeRecorder(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := map[int][]bool{0: {true}, 2: {false, true}}
+	if _, err := rec.ExchangeScheduled([]byte{0x5A}, bits); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Record().Spec.ScheduleCapacity; got != 2 {
+		t.Fatalf("recorded schedule capacity %d, want 2", got)
+	}
+	replayMustMatch(t, rec.Record())
+}
+
+func TestRecorderRequiresFreshNetwork(t *testing.T) {
+	net, err := NewNetwork(Config{Nodes: []NodeConfig{{ID: 1, Range: 2.5}}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Exchange([]byte{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewExchangeRecorder(net); err == nil {
+		t.Fatal("recorder accepted a network with exchanges already run")
+	}
+}
+
+func TestReplayDetectsTamperedRecord(t *testing.T) {
+	rec := recordRounds(t, Config{
+		Nodes: []NodeConfig{{ID: 1, Range: 2.5}},
+		Seed:  5,
+	}, 1)
+	rec.Rounds[0].Outcomes[0].DownlinkPayload[0] ^= 0xFF
+	report, err := ReplayRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("replay failed to flag a tampered outcome")
+	}
+	if !strings.Contains(report.Mismatches[0].Field, "downlink_payload") {
+		t.Fatalf("mismatch field = %q", report.Mismatches[0].Field)
+	}
+}
+
+func TestExchangeTraceTree(t *testing.T) {
+	tracer := telemetry.NewTracer()
+	net, err := NewNetwork(Config{
+		Nodes: []NodeConfig{{ID: 1, Range: 2.5}, {ID: 2, Range: 4}},
+		Seed:  11,
+	}, WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Exchange([]byte{0x42}, map[int][]bool{0: {true, false}}); err != nil {
+		t.Fatal(err)
+	}
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("collected %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	wantID := telemetry.NewExchangeID(11, 0, 0).String()
+	if tr.ID != wantID || tr.Seq != 0 || tr.Network != 0 {
+		t.Fatalf("trace identity = (%s, net %d, seq %d), want (%s, 0, 0)", tr.ID, tr.Network, tr.Seq, wantID)
+	}
+	counts := map[string]int{}
+	tr.Root.Walk(func(s *telemetry.SpanNode) { counts[s.Name]++ })
+	for name, want := range map[string]int{
+		"exchange":            1,
+		"frame.build":         1,
+		"downlink":            1,
+		"node.downlink":       2,
+		"tag.capture":         2,
+		"tag.decode":          2,
+		"scene.build":         1,
+		"radar.observe":       1,
+		"radar.if_correction": 1,
+		"detect":              1,
+		"uplink":              1,
+		"node.uplink":         1,
+	} {
+		if counts[name] != want {
+			t.Errorf("span %q count = %d, want %d (all: %v)", name, counts[name], want, counts)
+		}
+	}
+	if counts["parallel.for"] == 0 {
+		t.Error("no parallel.for spans recorded")
+	}
+	// Spans must close: every non-root span has a non-negative duration and
+	// the root spans the round.
+	tr.Root.Walk(func(s *telemetry.SpanNode) {
+		if s.DurNS < 0 {
+			t.Errorf("span %q has negative duration %d", s.Name, s.DurNS)
+		}
+	})
+	if tr.Root.DurNS <= 0 {
+		t.Error("root span never ended")
+	}
+}
+
+func TestExchangeTraceDeterministicIDs(t *testing.T) {
+	run := func() []string {
+		tracer := telemetry.NewTracer()
+		net, err := NewNetwork(Config{
+			Nodes: []NodeConfig{{ID: 1, Range: 2.5}},
+			Seed:  23,
+		}, WithTracer(tracer))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := net.Exchange([]byte{byte(i)}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ids := []string{}
+		for _, tr := range tracer.Traces() {
+			ids = append(ids, tr.ID)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != 3 {
+		t.Fatalf("got %d IDs, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run IDs diverge at %d: %s vs %s", i, a[i], b[i])
+		}
+		if i > 0 && a[i] == a[i-1] {
+			t.Fatalf("consecutive exchanges share ID %s", a[i])
+		}
+	}
+}
+
+func TestEventExchangeTagging(t *testing.T) {
+	sink := &telemetry.SliceRecorder{}
+	net, err := NewNetwork(Config{
+		Nodes:     []NodeConfig{{ID: 1, Range: 2.5}},
+		Seed:      31,
+		NetworkID: 7,
+	}, WithTelemetry(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Exchange([]byte{0x01}, map[int][]bool{0: {true}}); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	wantID := telemetry.NewExchangeID(31, 7, 0).String()
+	for _, e := range events {
+		if e.Exchange != wantID {
+			t.Fatalf("event %q exchange = %q, want %q", e.Name, e.Exchange, wantID)
+		}
+		if e.Network != 7 {
+			t.Fatalf("event %q network = %d, want 7", e.Name, e.Network)
+		}
+	}
+}
+
+func TestFlightRecorderCapturesExchanges(t *testing.T) {
+	flight := telemetry.NewFlightRecorder(4)
+	net, err := NewNetwork(Config{
+		Nodes: []NodeConfig{{ID: 1, Range: 2.5}},
+		Seed:  13,
+	}, WithFlightRecorder(flight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := net.Exchange([]byte{byte(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if flight.Recorded() != 6 {
+		t.Fatalf("flight recorded %d exchanges, want 6", flight.Recorded())
+	}
+	snap := flight.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("flight ring holds %d, want 4", len(snap))
+	}
+	if snap[len(snap)-1].Seq != 5 {
+		t.Fatalf("newest resident trace seq = %d, want 5", snap[len(snap)-1].Seq)
+	}
+}
+
+func TestFleetPropagatesTracing(t *testing.T) {
+	tracer := telemetry.NewTracer()
+	fleet := NewFleet(FleetConfig{Engines: 2, Tracer: tracer})
+	defer fleet.Close()
+	var handles []*FleetNetwork
+	for i := 0; i < 2; i++ {
+		fn, err := fleet.AddNetwork(Config{
+			Nodes: []NodeConfig{{ID: uint8(i + 1), Range: 2.5}},
+			Seed:  50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, fn)
+	}
+	for _, fn := range handles {
+		if _, err := fn.Exchange([]byte{0x7}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traces := tracer.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("collected %d traces, want 2", len(traces))
+	}
+	nets := map[int]bool{}
+	ids := map[string]bool{}
+	for _, tr := range traces {
+		nets[tr.Network] = true
+		ids[tr.ID] = true
+	}
+	if !nets[0] || !nets[1] {
+		t.Fatalf("trace networks = %v, want {0,1}", nets)
+	}
+	if len(ids) != 2 {
+		t.Fatal("same-seed fleet networks share an exchange ID; NetworkID not mixed in")
+	}
+}

@@ -34,6 +34,10 @@ type Options struct {
 	// network the experiments build (the registry is concurrency-safe, so
 	// parallel sweep points share it). Nil disables collection.
 	Metrics *telemetry.Metrics
+	// Tracer, when non-nil, collects exchange span trees from every
+	// network the experiments build. The collector is bounded and
+	// concurrency-safe; nil disables tracing entirely.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -558,6 +562,7 @@ func Fig15(o Options) (*Result, error) {
 				Seed:    o.Seed + int64(t)*131,
 				Workers: 1,
 				Metrics: o.Metrics,
+				Tracer:  o.Tracer,
 			})
 			if err != nil {
 				return math.Inf(-1)
@@ -617,6 +622,7 @@ func Fig16(o Options) (*Result, error) {
 				Seed:    o.Seed + int64(di*100+t),
 				Workers: 1,
 				Metrics: o.Metrics,
+				Tracer:  o.Tracer,
 			})
 			if err != nil {
 				return pair{math.NaN(), math.NaN()}
@@ -752,6 +758,7 @@ func Ablations(o Options) (*Result, error) {
 		Nodes:   []core.NodeConfig{{ID: 1, Range: 3.7}},
 		Seed:    o.Seed + 99,
 		Metrics: o.Metrics,
+		Tracer:  o.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -108,6 +108,7 @@ func RecoverySweep(duties []float64, rounds int, o Options) ([]RecoveryPoint, er
 			Seed:         o.Seed + 1,
 			Workers:      o.Workers,
 			Metrics:      o.Metrics,
+			Tracer:       o.Tracer,
 		}
 
 		// Fixed policy: the nominal mode with plain ARQ.

@@ -165,6 +165,7 @@ func RunScenario(sc Scenario, rounds int, o Options) (ScenarioStats, error) {
 		Seed:         o.Seed + 1,
 		Workers:      o.Workers,
 		Metrics:      o.Metrics,
+		Tracer:       o.Tracer,
 	})
 	if err != nil {
 		return ScenarioStats{}, fmt.Errorf("scenario %s: %w", sc.Name, err)

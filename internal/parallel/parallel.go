@@ -320,6 +320,12 @@ func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) erro
 		return err
 	}
 	w := p.width(n)
+	sp := telemetry.SpanFromContext(ctx).Child("parallel.for", -1)
+	if sp != nil {
+		sp.SetAttr("tasks", n)
+		sp.SetAttr("width", w)
+		defer sp.End()
+	}
 	body := p.instrumentErr(n, w, func(_, i int) error { return fn(i) })
 	return p.runContext(ctx, n, w, body)
 }

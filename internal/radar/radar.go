@@ -266,6 +266,9 @@ func (r *Radar) Observe(frame *fmcw.Frame, scene Scene) *Capture {
 // next Observe/ObserveContext call on the same Radar. Callers that keep a
 // capture across frames must copy the rows.
 func (r *Radar) ObserveContext(ctx context.Context, frame *fmcw.Frame, scene Scene) (*Capture, error) {
+	osp := telemetry.SpanFromContext(ctx).Child("radar.observe", -1)
+	osp.SetAttr("chirps", len(frame.Chirps))
+	defer osp.End()
 	nChirps := len(frame.Chirps)
 	r.scr.ifRows = ensureRows(r.scr.ifRows, nChirps)
 	cap := &Capture{Frame: frame, IF: r.scr.ifRows[:nChirps]}
@@ -444,6 +447,8 @@ func (r *Radar) CorrectedMatrix(cap *Capture) ([][]complex128, []float64) {
 // CorrectedMatrix/CorrectedMatrixContext call on the same Radar; callers
 // that keep a matrix across frames must copy it.
 func (r *Radar) CorrectedMatrixContext(ctx context.Context, cap *Capture) ([][]complex128, []float64, error) {
+	csp := telemetry.SpanFromContext(ctx).Child("radar.if_correction", -1)
+	defer csp.End()
 	grid := r.RangeGrid(cap.Frame)
 	r.scr.cmRows = ensureRows(r.scr.cmRows, len(cap.IF))
 	out := r.scr.cmRows[:len(cap.IF)]

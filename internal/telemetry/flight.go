@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder keeps the last N exchange traces in a bounded lock-free
+// ring — always on, always cheap — so that when something goes wrong the
+// recent history is already captured: the "black box" to attach to a bug
+// report. It dumps automatically when tripped (the exchange engine trips it
+// on exchange errors, the link controller when a circuit breaker opens) and
+// on demand via FlightRecorder.WriteJSON / the /debug/flight endpoint.
+//
+// Add is wait-free: one atomic fetch-add plus one atomic pointer store, so
+// recording a completed trace never contends with the pipeline or with a
+// concurrent dump. A dump taken while exchanges are landing sees each slot
+// as either its old or its new trace — both complete, immutable trees —
+// never a torn entry.
+//
+// A nil *FlightRecorder is the disabled recorder: every method no-ops.
+type FlightRecorder struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+	trips atomic.Int64
+
+	mu         sync.Mutex
+	onTrip     func(reason string, traces []*Trace)
+	lastReason string
+	lastTrip   time.Time
+}
+
+// DefaultFlightDepth is the ring depth when NewFlightRecorder is given a
+// non-positive size.
+const DefaultFlightDepth = 32
+
+// NewFlightRecorder returns a recorder holding the last n traces
+// (DefaultFlightDepth when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightDepth
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Depth returns the ring capacity (zero on a nil receiver).
+func (f *FlightRecorder) Depth() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Add records one completed trace, overwriting the oldest entry once the
+// ring is full. Safe on a nil receiver and for concurrent use.
+func (f *FlightRecorder) Add(tr *Trace) {
+	if f == nil || tr == nil {
+		return
+	}
+	i := f.next.Add(1) - 1
+	f.slots[i%uint64(len(f.slots))].Store(tr)
+}
+
+// Recorded returns the lifetime trace count (zero on a nil receiver).
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.next.Load()
+}
+
+// Snapshot returns the resident traces, oldest first. Under concurrent
+// writers a slot may resolve to a trace newer than the snapshot's nominal
+// window — the ring is a best-effort recent history, not a serialized log.
+// Empty on a nil receiver.
+func (f *FlightRecorder) Snapshot() []*Trace {
+	if f == nil {
+		return nil
+	}
+	total := f.next.Load()
+	n := uint64(len(f.slots))
+	if total < n {
+		n = total
+	}
+	out := make([]*Trace, 0, n)
+	for k := total - n; k < total; k++ {
+		if tr := f.slots[k%uint64(len(f.slots))].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// OnTrip installs the auto-dump hook invoked by Trip with the trip reason
+// and a snapshot of the ring. Safe on a nil receiver (no-op).
+func (f *FlightRecorder) OnTrip(fn func(reason string, traces []*Trace)) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.onTrip = fn
+	f.mu.Unlock()
+}
+
+// DumpToFileOnTrip installs an OnTrip hook that writes the full JSON dump
+// to path on every trip (overwriting — the newest trip wins, and the dump
+// contains the recent-history ring anyway). Errors writing the dump are
+// dropped: the flight recorder must never fail the pipeline it observes.
+func (f *FlightRecorder) DumpToFileOnTrip(path string) {
+	f.OnTrip(func(string, []*Trace) {
+		if out, err := os.Create(path); err == nil {
+			_ = f.WriteJSON(out)
+			_ = out.Close()
+		}
+	})
+}
+
+// Trip records an abnormal event — an exchange error, a node quarantine —
+// and invokes the OnTrip hook with the current ring snapshot. It returns
+// the number of traces in the snapshot. Safe on a nil receiver (returns 0)
+// and for concurrent use.
+func (f *FlightRecorder) Trip(reason string) int {
+	if f == nil {
+		return 0
+	}
+	f.trips.Add(1)
+	f.mu.Lock()
+	f.lastReason = reason
+	f.lastTrip = time.Now()
+	fn := f.onTrip
+	f.mu.Unlock()
+	traces := f.Snapshot()
+	if fn != nil {
+		fn(reason, traces)
+	}
+	return len(traces)
+}
+
+// Trips returns how many times the recorder has been tripped.
+func (f *FlightRecorder) Trips() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.trips.Load()
+}
+
+// flightDump is the JSON shape of a flight-recorder dump.
+type flightDump struct {
+	Depth      int       `json:"depth"`
+	Recorded   uint64    `json:"recorded"`
+	Trips      int64     `json:"trips"`
+	LastReason string    `json:"last_reason,omitempty"`
+	LastTrip   time.Time `json:"last_trip"`
+	Traces     []*Trace  `json:"traces"`
+}
+
+// WriteJSON writes the full dump — ring metadata, trip history, and the
+// resident traces oldest-first — as indented JSON: the artifact to attach
+// to a bug report. Safe on a nil receiver (writes an empty dump).
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	d := flightDump{Traces: []*Trace{}}
+	if f != nil {
+		f.mu.Lock()
+		d.LastReason, d.LastTrip = f.lastReason, f.lastTrip
+		f.mu.Unlock()
+		d.Depth = len(f.slots)
+		d.Recorded = f.next.Load()
+		d.Trips = f.trips.Load()
+		if snap := f.Snapshot(); snap != nil {
+			d.Traces = snap
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

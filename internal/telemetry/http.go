@@ -32,19 +32,57 @@ func PublishExpvar(m *Metrics) {
 	})
 }
 
-// Handler returns the live-introspection mux for a registry:
+// DebugConfig selects what the debug mux serves: the metrics registry is
+// the baseline; a Tracer adds /debug/trace, a FlightRecorder /debug/flight.
+// Nil fields serve empty (but valid) responses on their endpoints.
+type DebugConfig struct {
+	// Metrics backs /metrics.json, /metrics and the expvar export.
+	Metrics *Metrics
+	// Tracer backs /debug/trace.
+	Tracer *Tracer
+	// Flight backs /debug/flight.
+	Flight *FlightRecorder
+}
+
+// Handler returns the live-introspection mux for a registry; equivalent to
+// DebugHandler(DebugConfig{Metrics: m}).
+func Handler(m *Metrics) http.Handler { return DebugHandler(DebugConfig{Metrics: m}) }
+
+// DebugHandler returns the live-introspection mux:
 //
-//	/metrics.json  — indented JSON Snapshot of m
+//	/metrics.json  — indented JSON Snapshot of the registry
+//	/metrics       — OpenMetrics text exposition (Prometheus-scrapeable)
+//	/debug/trace   — collected exchange traces: Chrome trace_event JSON
+//	                 (open in Perfetto), or JSONL with ?format=jsonl
+//	/debug/flight  — flight-recorder dump (ring metadata + recent traces)
 //	/debug/vars    — expvar (includes the "biscatter" snapshot and Go runtime vars)
 //	/debug/pprof/* — CPU, heap, goroutine and trace profiles
-func Handler(m *Metrics) http.Handler {
-	PublishExpvar(m)
+func DebugHandler(c DebugConfig) http.Handler {
+	PublishExpvar(c.Metrics)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(m.Snapshot())
+		_ = enc.Encode(c.Metrics.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = WriteOpenMetrics(w, c.Metrics.Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		traces := c.Tracer.Traces()
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl")
+			_ = WriteTraceJSONL(w, traces)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, traces)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = c.Flight.WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -59,11 +97,17 @@ func Handler(m *Metrics) http.Handler {
 // returning the listener so callers can log the resolved address (use
 // ":0" to pick a free port) and close it on shutdown.
 func ServeDebug(addr string, m *Metrics) (net.Listener, error) {
+	return ServeDebugConfig(addr, DebugConfig{Metrics: m})
+}
+
+// ServeDebugConfig is ServeDebug for the full observability surface —
+// metrics plus tracer plus flight recorder.
+func ServeDebugConfig(addr string, c DebugConfig) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(m)}
+	srv := &http.Server{Handler: DebugHandler(c)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln, nil
 }

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteOpenMetrics renders a snapshot in the OpenMetrics text format —
+// the Prometheus-scrapeable sibling of the JSON snapshot, served on the
+// debug mux at /metrics. Counters export as "<name>_total", gauges as
+// plain samples, and histograms as summaries (quantile series plus _sum
+// and _count).
+//
+// The quantile series carry the ring-buffer caveat of HistogramStats: they
+// describe the most recent histWindow (512) observations, not the
+// histogram's lifetime, while _sum and _count do span the lifetime. The
+// "window" label on each quantile sample makes that machine-visible.
+//
+// Metric names are sanitized to the OpenMetrics charset (dots and dashes
+// become underscores) and emitted in sorted order, so two equal snapshots
+// render byte-identically.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := sanitizeMetricName(k)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+		fmt.Fprintf(bw, "%s_total %d\n", n, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := sanitizeMetricName(k)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(bw, "%s %g\n", n, s.Gauges[k])
+	}
+
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := sanitizeMetricName(k)
+		h := s.Histograms[k]
+		window := h.Count
+		if window > histWindow {
+			window = histWindow
+		}
+		fmt.Fprintf(bw, "# TYPE %s summary\n", n)
+		for _, q := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(bw, "%s{quantile=\"%s\",window=\"%d\"} %g\n", n, q.q, window, q.v)
+		}
+		fmt.Fprintf(bw, "%s_sum %g\n", n, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+
+	fmt.Fprint(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// sanitizeMetricName maps a dotted registry name onto the OpenMetrics
+// charset [a-zA-Z0-9_:], prefixing a leading digit with an underscore.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

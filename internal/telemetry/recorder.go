@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,6 +25,14 @@ type Event struct {
 	// Node is the network node index the event concerns, or -1 when the
 	// event is not node-scoped.
 	Node int `json:"node"`
+	// Exchange is the deterministic ExchangeID (16 hex digits) of the
+	// pipeline round the event belongs to, or "" outside any round. It is
+	// what keeps concurrent Fleet exchanges attributable after their events
+	// interleave into one stream.
+	Exchange string `json:"exchange,omitempty"`
+	// Network identifies the emitting network: the Fleet-assigned network
+	// id, or 0 for a standalone network.
+	Network int `json:"network"`
 	// Fields carries event-specific context (durations, outcomes, SNRs).
 	Fields map[string]any `json:"fields,omitempty"`
 }
@@ -76,8 +85,10 @@ func (r *SliceRecorder) CountByName() map[string]int {
 // JSONLRecorder streams events to a writer as JSON lines, serialized by a
 // mutex so concurrent records never interleave bytes.
 type JSONLRecorder struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu      sync.Mutex
+	enc     *json.Encoder
+	dropped atomic.Int64
+	dropC   *Counter
 }
 
 // NewJSONLRecorder returns a recorder writing one JSON object per line to w.
@@ -85,10 +96,26 @@ func NewJSONLRecorder(w io.Writer) *JSONLRecorder {
 	return &JSONLRecorder{enc: json.NewEncoder(w)}
 }
 
-// Record implements Recorder. Encoding errors are dropped: an event sink
-// must never fail the pipeline.
+// Instrument resolves the drop counter "telemetry.recorder.dropped" in m,
+// surfacing encode-error drops in the registry's Snapshot, and returns the
+// recorder for chaining. A nil registry leaves only the local Dropped tally.
+func (r *JSONLRecorder) Instrument(m *Metrics) *JSONLRecorder {
+	r.dropC = m.Counter("telemetry.recorder.dropped")
+	return r
+}
+
+// Record implements Recorder. An event sink must never fail the pipeline,
+// so encoding errors drop the event — but audibly: every drop counts into
+// Dropped and, when instrumented, into "telemetry.recorder.dropped".
 func (r *JSONLRecorder) Record(e Event) {
 	r.mu.Lock()
-	_ = r.enc.Encode(e)
+	err := r.enc.Encode(e)
 	r.mu.Unlock()
+	if err != nil {
+		r.dropped.Add(1)
+		r.dropC.Inc()
+	}
 }
+
+// Dropped returns how many events were lost to encode errors.
+func (r *JSONLRecorder) Dropped() int64 { return r.dropped.Load() }

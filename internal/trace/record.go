@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"io"
+	"os"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/fault"
+	"biscatter/internal/fec"
+	"biscatter/internal/fmcw"
+)
+
+// ExchangeRecord captures everything needed to re-run a sequence of
+// exchanges byte-identically offline: the full network specification
+// (including seeds and the fault profile — the pipeline is deterministic
+// given these), every round's inputs, and the outcomes the live run
+// produced so replay can verify itself against the original. It is the
+// exchange-level sibling of EnvelopeCapture/IFCapture: where those freeze
+// one signal, this freezes one conversation.
+//
+// The file reuses the BSCTRACE magic/version framing with kind "exchange",
+// so format drift fails loudly. Bumping the trace version invalidates old
+// records by design — a record that decodes must replay.
+type ExchangeRecord struct {
+	// Spec reconstructs the network.
+	Spec ExchangeSpec
+	// Rounds holds the recorded exchanges in execution order.
+	Rounds []RoundRecord
+	// Meta carries free-form annotations (scenario name, host, notes).
+	Meta map[string]string
+}
+
+// ExchangeSpec is the flattened core.Config — every field that influences
+// exchange results, and nothing that doesn't (no telemetry sinks, no worker
+// count: results are byte-identical at any worker count, so replay may pick
+// its own). The radar preset is embedded in full rather than referenced by
+// name, so a record survives preset drift in the codebase.
+type ExchangeSpec struct {
+	Preset           fmcw.Preset
+	Period           float64
+	SymbolBits       int
+	HeaderChirps     int
+	SyncChirps       int
+	FEC              fec.Config
+	MinChirpDuration float64
+	DeltaL           float64
+	MinBeatSpacing   float64
+	ChirpsPerBit     int
+	Nodes            []NodeSpec
+	// ScheduleCapacity reconstructs the TDMA frame schedule
+	// (mac.NewFrameSchedule(len(Nodes), ScheduleCapacity)); zero means no
+	// schedule — every node concurrent in every frame.
+	ScheduleCapacity int
+	Clutter          []channel.Reflector
+	Faults           *fault.Profile
+	Seed             int64
+	TagSampleRate    float64
+	// DecoderMethod is the tag.Method ordinal.
+	DecoderMethod int
+	// NetworkID is the recorded network's identity (a fleet-assigned id or
+	// 0); exchange IDs derive from it, so replay must reuse it.
+	NetworkID int
+}
+
+// NodeSpec mirrors core.NodeConfig.
+type NodeSpec struct {
+	ID           uint8
+	Range        float64
+	ModulationF0 float64
+	ModulationF1 float64
+}
+
+// RoundInput is one exchange's inputs.
+type RoundInput struct {
+	// Payload is the downlink packet payload.
+	Payload []byte
+	// UplinkBits maps node index to that node's uplink bits.
+	UplinkBits map[int][]bool
+	// MinChirps is the WithMinChirps floor (zero = none).
+	MinChirps int
+	// Active lists the WithActiveNodes indices (nil = all nodes).
+	Active []int
+	// Scheduled marks a round run through ExchangeScheduled — one full
+	// TDMA schedule cycle rather than a single frame.
+	Scheduled bool
+}
+
+// NodeOutcome is the replay-comparable digest of one core.NodeResult:
+// decoded bytes and bits verbatim, detection coordinates bit-exact, errors
+// by message. Diagnostics are deliberately excluded — they are descriptive,
+// not part of the determinism contract.
+type NodeOutcome struct {
+	DownlinkPayload []byte
+	DownlinkErr     string
+	DetectionRange  float64
+	DetectionBin    int
+	DetectionSNRdB  float64
+	DetectionErr    string
+	UplinkBits      []bool
+	UplinkErr       string
+}
+
+// RoundRecord is one recorded exchange: identity, inputs, and what the live
+// run observed.
+type RoundRecord struct {
+	// Seq is the network's exchange sequence number for this round.
+	Seq uint64
+	// ExchangeID is the deterministic exchange identity (16 hex digits);
+	// replay must reproduce it exactly.
+	ExchangeID string
+	// Input is what was fed in.
+	Input RoundInput
+	// Err is the exchange-level error message ("" on success).
+	Err string
+	// Outcomes holds one entry per network node, in network order. Nil when
+	// the exchange failed before producing results.
+	Outcomes []NodeOutcome
+}
+
+// WriteExchange writes an exchange record to w.
+func WriteExchange(w io.Writer, r *ExchangeRecord) error {
+	return write(w, "exchange", r)
+}
+
+// ReadExchange reads an exchange record from r.
+func ReadExchange(r io.Reader) (*ExchangeRecord, error) {
+	var rec ExchangeRecord
+	if err := read(r, "exchange", &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// SaveExchange writes an exchange record to a file.
+func SaveExchange(path string, r *ExchangeRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteExchange(f, r); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadExchange reads an exchange record from a file.
+func LoadExchange(path string) (*ExchangeRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadExchange(f)
+}

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -8,10 +8,11 @@ import (
 	"testing"
 
 	"biscatter/internal/core"
+	"biscatter/internal/trace"
 )
 
-func sampleEnvelope() *EnvelopeCapture {
-	return &EnvelopeCapture{
+func sampleEnvelope() *trace.EnvelopeCapture {
+	return &trace.EnvelopeCapture{
 		SampleRate:      1e6,
 		CenterFrequency: 9.5e9,
 		Period:          120e-6,
@@ -24,10 +25,10 @@ func sampleEnvelope() *EnvelopeCapture {
 func TestEnvelopeRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	want := sampleEnvelope()
-	if err := WriteEnvelope(&buf, want); err != nil {
+	if err := trace.WriteEnvelope(&buf, want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadEnvelope(&buf)
+	got, err := trace.ReadEnvelope(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 
 func TestIFRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	want := &IFCapture{
+	want := &trace.IFCapture{
 		SampleRate: 4e6,
 		Bandwidth:  1e9,
 		Period:     120e-6,
@@ -46,10 +47,10 @@ func TestIFRoundTrip(t *testing.T) {
 		IF:         [][]complex128{{1 + 2i, 3}, {4i}},
 		Meta:       map[string]string{"frame": "7"},
 	}
-	if err := WriteIF(&buf, want); err != nil {
+	if err := trace.WriteIF(&buf, want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadIF(&buf)
+	got, err := trace.ReadIF(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,19 +61,19 @@ func TestIFRoundTrip(t *testing.T) {
 
 func TestKindMismatchRejected(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteEnvelope(&buf, sampleEnvelope()); err != nil {
+	if err := trace.WriteEnvelope(&buf, sampleEnvelope()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadIF(&buf); !errors.Is(err, ErrBadHeader) {
-		t.Fatalf("expected ErrBadHeader, got %v", err)
+	if _, err := trace.ReadIF(&buf); !errors.Is(err, trace.ErrBadHeader) {
+		t.Fatalf("expected trace.ErrBadHeader, got %v", err)
 	}
 }
 
 func TestGarbageRejected(t *testing.T) {
-	if _, err := ReadEnvelope(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrBadHeader) {
-		t.Fatalf("expected ErrBadHeader, got %v", err)
+	if _, err := trace.ReadEnvelope(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, trace.ErrBadHeader) {
+		t.Fatalf("expected trace.ErrBadHeader, got %v", err)
 	}
-	if _, err := ReadEnvelope(bytes.NewReader(nil)); err == nil {
+	if _, err := trace.ReadEnvelope(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty input should fail")
 	}
 }
@@ -80,27 +81,27 @@ func TestGarbageRejected(t *testing.T) {
 func TestFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "cap.bsct")
-	if err := SaveEnvelope(path, sampleEnvelope()); err != nil {
+	if err := trace.SaveEnvelope(path, sampleEnvelope()); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadEnvelope(path)
+	got, err := trace.LoadEnvelope(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.SNRdB != 22 || len(got.Samples) != 3 {
 		t.Fatalf("loaded %+v", got)
 	}
-	if _, err := LoadEnvelope(filepath.Join(dir, "missing")); err == nil {
+	if _, err := trace.LoadEnvelope(filepath.Join(dir, "missing")); err == nil {
 		t.Fatal("missing file should fail")
 	}
 	ifPath := filepath.Join(dir, "if.bsct")
-	if err := SaveIF(ifPath, &IFCapture{SampleRate: 4e6, IF: [][]complex128{{1}}}); err != nil {
+	if err := trace.SaveIF(ifPath, &trace.IFCapture{SampleRate: 4e6, IF: [][]complex128{{1}}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadIF(ifPath); err != nil {
+	if _, err := trace.LoadIF(ifPath); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadIF(filepath.Join(dir, "missing")); err == nil {
+	if _, err := trace.LoadIF(filepath.Join(dir, "missing")); err == nil {
 		t.Fatal("missing IF file should fail")
 	}
 }
@@ -125,7 +126,7 @@ func TestRecordedCaptureDecodesOffline(t *testing.T) {
 	x := node.Tag.FrontEnd.CaptureFrame(frame, snr)
 
 	path := filepath.Join(t.TempDir(), "live.bsct")
-	err = SaveEnvelope(path, &EnvelopeCapture{
+	err = trace.SaveEnvelope(path, &trace.EnvelopeCapture{
 		SampleRate:      node.Tag.FrontEnd.SampleRate,
 		CenterFrequency: node.Tag.FrontEnd.CenterFrequency,
 		Period:          n.Config().Period,
@@ -135,7 +136,7 @@ func TestRecordedCaptureDecodesOffline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadEnvelope(path)
+	loaded, err := trace.LoadEnvelope(path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Perf-budget gate: runs BenchmarkExchange once at workers=1 and fails if
+# ns/op regresses more than the budget over the committed baseline in
+# BENCH_exchange.json (the workers=1 entry — the serial figure is the most
+# stable across hosts; parallel widths are bounded by the runner's cores).
+#
+# A single -benchtime 1x iteration is noisy, so the budget is deliberately
+# loose: it catches a change that makes the exchange pipeline structurally
+# slower (an accidental O(n^2), tracing left on in the hot path), not a few
+# percent of drift. Refresh the baseline with scripts/bench_exchange.sh when
+# a PR intentionally moves the number. Usage:
+#
+#   scripts/check_bench.sh [budget_percent]    # default 15
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budget="${1:-15}"
+baseline_file=BENCH_exchange.json
+
+baseline="$(awk -F'[:,]' '/"workers": 1,/ {
+  for (i = 1; i <= NF; i++) if ($i ~ /"ns_per_op"/) { gsub(/ /, "", $(i+1)); print $(i+1); exit }
+}' "$baseline_file")"
+if [ -z "$baseline" ]; then
+  echo "check_bench.sh: no workers=1 ns_per_op in $baseline_file" >&2
+  exit 1
+fi
+
+raw="$(go test -run '^$' -bench 'BenchmarkExchange/workers=1$' -benchtime 1x .)"
+echo "$raw"
+
+current="$(echo "$raw" | awk '/^BenchmarkExchange\/workers=1/ {
+  for (i = 3; i < NF; i += 2) if ($(i+1) == "ns/op") { print $i; exit }
+}')"
+if [ -z "$current" ]; then
+  echo "check_bench.sh: no BenchmarkExchange/workers=1 result parsed" >&2
+  exit 1
+fi
+
+awk -v cur="$current" -v base="$baseline" -v budget="$budget" 'BEGIN {
+  pct = 100 * (cur - base) / base
+  printf "exchange ns/op: baseline %.0f, current %.0f (%+.1f%%, budget +%d%%)\n", base, cur, pct, budget
+  if (pct > budget) {
+    print "check_bench.sh: perf budget exceeded" > "/dev/stderr"
+    exit 1
+  }
+}'
