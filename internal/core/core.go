@@ -230,6 +230,11 @@ type exchangeScratch struct {
 	profs  [][]float64
 	owner  []int
 	med    []float64
+	// toneFreqs/toneIdx/sigRows back the batched signature scan: the active
+	// tone frequencies, their slots in tones, and the radar's profile rows.
+	toneFreqs []float64
+	toneIdx   []int
+	sigRows   [][]float64
 	dets   []radar.Detection
 	diags  []radar.DetectionDiag
 	errs   []error

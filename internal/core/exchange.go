@@ -439,22 +439,35 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 	if nActive == 0 {
 		return dets, diags, errs, nil
 	}
-	// tones[2j] and tones[2j+1] are node j's F0 and F1 profiles.
+	// tones[2j] and tones[2j+1] are node j's F0 and F1 profiles. All active
+	// tones are scanned in one batched matrix traversal: the per-bin
+	// slow-time column is gathered once and every tone's Goertzel runs over
+	// it (bit-identical to one SignatureProfileInto per tone, which
+	// re-traversed the whole matrix 2·nodes times). The batch is bin-
+	// parallel inside the radar; cancellation is checked once up front.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 	n.scr.tones = growRows(n.scr.tones, 2*nn)
 	tones := n.scr.tones[:2*nn]
+	freqs := n.scr.toneFreqs[:0]
+	idx := n.scr.toneIdx[:0]
 	for k := 0; k < 2*nn; k++ {
 		if !active[k/2] {
 			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, nil, nil, err
 		}
 		node := n.nodes[k/2]
 		f := node.Uplink.F0
 		if k%2 == 1 {
 			f = node.Uplink.F1
 		}
-		tones[k] = n.radar.SignatureProfileInto(tones[k], matrix, f, n.cfg.Period)
+		freqs = append(freqs, f)
+		idx = append(idx, k)
+	}
+	n.scr.toneFreqs, n.scr.toneIdx = freqs, idx
+	n.scr.sigRows = n.radar.SignatureProfilesInto(n.scr.sigRows, matrix, freqs, n.cfg.Period)
+	for j, k := range idx {
+		tones[k] = n.scr.sigRows[j]
 	}
 	n.scr.profs = growRows(n.scr.profs, nn)
 	profs := n.scr.profs[:nn]

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Tolerance-mode golden comparison. The default mode is byte-exact — the
+// strongest regression gate the suite has, and the one every bit-preserving
+// refactor must keep. Some fast-path rewrites are float-breaking by
+// construction (FFT-order changes); their vectors declare "ulp:N" or
+// "rel:eps", which relaxes the comparison ONLY for *_hex float leaves. The
+// document structure, every integer, every string, and every error message
+// still compare exactly, so a tolerance never lets a behavioral change hide
+// behind a numeric one.
+
+// toleranceMode is a parsed golden-vector comparison policy.
+type toleranceMode struct {
+	kind string // "exact", "ulp", or "rel"
+	ulps uint64
+	eps  float64
+}
+
+func (m toleranceMode) String() string {
+	switch m.kind {
+	case "ulp":
+		return fmt.Sprintf("ulp:%d", m.ulps)
+	case "rel":
+		return fmt.Sprintf("rel:%g", m.eps)
+	default:
+		return "exact"
+	}
+}
+
+// parseTolerance parses "", "exact", "ulp:N", or "rel:eps".
+func parseTolerance(spec string) (toleranceMode, error) {
+	if spec == "" || spec == "exact" {
+		return toleranceMode{kind: "exact"}, nil
+	}
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return toleranceMode{}, fmt.Errorf("tolerance %q: want exact, ulp:N, or rel:eps", spec)
+	}
+	switch kind {
+	case "ulp":
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return toleranceMode{}, fmt.Errorf("tolerance %q: bad ulp count: %v", spec, err)
+		}
+		return toleranceMode{kind: "ulp", ulps: n}, nil
+	case "rel":
+		eps, err := strconv.ParseFloat(arg, 64)
+		if err != nil || !(eps >= 0) || math.IsInf(eps, 0) {
+			return toleranceMode{}, fmt.Errorf("tolerance %q: bad relative epsilon", spec)
+		}
+		return toleranceMode{kind: "rel", eps: eps}, nil
+	default:
+		return toleranceMode{}, fmt.Errorf("tolerance %q: unknown mode %q", spec, kind)
+	}
+}
+
+// orderedBits maps float64 onto uint64 so that the integer distance between
+// two mapped values is their distance in representable floats (the ulp
+// distance), with -0 and +0 adjacent.
+func orderedBits(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+func ulpDiff(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	oa, ob := orderedBits(a), orderedBits(b)
+	if oa > ob {
+		return oa - ob
+	}
+	return ob - oa
+}
+
+// floatsWithin applies the mode's numeric bound.
+func (m toleranceMode) floatsWithin(a, b float64) bool {
+	switch m.kind {
+	case "ulp":
+		return ulpDiff(a, b) <= m.ulps
+	case "rel":
+		if math.Float64bits(a) == math.Float64bits(b) {
+			return true
+		}
+		return math.Abs(a-b) <= m.eps*math.Max(math.Abs(a), math.Abs(b))
+	default:
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
+}
+
+// hexFloatValue parses a hexadecimal float literal as written by hexFloat.
+// Plain hex byte strings (payload_hex) lack the 0x prefix and do not
+// qualify — they always compare exactly.
+func hexFloatValue(s string) (float64, bool) {
+	if !strings.HasPrefix(s, "0x") && !strings.HasPrefix(s, "-0x") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// compareGolden compares a regenerated golden document against the stored
+// one under the given tolerance mode. Exact mode is pure byte equality. In
+// a tolerance mode both sides must be valid JSON with identical structure;
+// only leaves under keys ending in "_hex" that parse as hex float literals
+// may differ, and only within the numeric bound.
+func compareGolden(got, want []byte, mode toleranceMode) error {
+	if mode.kind == "exact" {
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("documents differ byte-wise (exact mode)")
+		}
+		return nil
+	}
+	var g, w any
+	if err := json.Unmarshal(got, &g); err != nil {
+		return fmt.Errorf("regenerated document is not valid JSON: %v", err)
+	}
+	if err := json.Unmarshal(want, &w); err != nil {
+		return fmt.Errorf("stored golden vector is corrupt (invalid JSON): %v", err)
+	}
+	return compareJSON("$", "", g, w, mode)
+}
+
+func compareJSON(path, key string, got, want any, mode toleranceMode) error {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want object", path, got)
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("%s: got %d keys, want %d", path, len(g), len(w))
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Errorf("%s: missing key %q", path, k)
+			}
+			if err := compareJSON(path+"."+k, k, gv, wv, mode); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want array", path, got)
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("%s: got %d elements, want %d", path, len(g), len(w))
+		}
+		for i := range w {
+			if err := compareJSON(fmt.Sprintf("%s[%d]", path, i), key, g[i], w[i], mode); err != nil {
+				return err
+			}
+		}
+		return nil
+	case string:
+		g, ok := got.(string)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want string", path, got)
+		}
+		if strings.HasSuffix(key, "_hex") {
+			gv, gok := hexFloatValue(g)
+			wv, wok := hexFloatValue(w)
+			if gok && wok {
+				if !mode.floatsWithin(gv, wv) {
+					return fmt.Errorf("%s: %s vs %s exceeds %s", path, g, w, mode)
+				}
+				return nil
+			}
+		}
+		if g != w {
+			return fmt.Errorf("%s: %q != %q (non-float field, exact even in tolerance mode)", path, g, w)
+		}
+		return nil
+	default:
+		// Numbers, booleans, null: tolerance applies only to *_hex strings,
+		// so these compare exactly.
+		if got != want {
+			return fmt.Errorf("%s: %v != %v", path, got, want)
+		}
+		return nil
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for _, spec := range []string{"", "exact", "ulp:0", "ulp:3", "rel:1e-9", "rel:0"} {
+		if _, err := parseTolerance(spec); err != nil {
+			t.Errorf("parseTolerance(%q): %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"ulp", "ulp:-1", "ulp:x", "rel:", "rel:inf", "rel:-1e-9", "abs:1", "1e-9"} {
+		if _, err := parseTolerance(spec); err == nil {
+			t.Errorf("parseTolerance(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+func TestUlpDiff(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want uint64
+	}{
+		{1, 1, 0},
+		{1, math.Nextafter(1, 2), 1},
+		{1, math.Nextafter(math.Nextafter(1, 2), 2), 2},
+		{0, math.Copysign(0, -1), 1},
+		{5e-324, -5e-324, 3}, // min denormal → +0 → −0 → −min denormal
+	}
+	for _, c := range cases {
+		if got := ulpDiff(c.a, c.b); got != c.want {
+			t.Errorf("ulpDiff(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if ulpDiff(math.NaN(), 1) != math.MaxUint64 {
+		t.Error("NaN vs number should be maximally distant")
+	}
+	if ulpDiff(math.NaN(), math.NaN()) != 0 {
+		t.Error("NaN vs NaN should compare equal (stable serialization)")
+	}
+}
+
+// mustMode is a test helper for a pre-validated tolerance spec.
+func mustMode(t *testing.T, spec string) toleranceMode {
+	t.Helper()
+	m, err := parseTolerance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCompareGoldenToleranceModes drives the comparator over a synthetic
+// vector: drifted floats pass within their bound and fail beyond it, and
+// every non-float difference — integers, strings, structure, keys — fails
+// even in the loosest tolerance mode. This is the corrupted-vector
+// rejection contract: a tolerance never masks a behavioral change.
+func TestCompareGoldenToleranceModes(t *testing.T) {
+	doc := func(v float64, bin int, payload string) []byte {
+		out, err := json.Marshal(map[string]any{
+			"preset":      "synthetic",
+			"value_hex":   strconv.FormatFloat(v, 'x', -1, 64),
+			"bin":         bin,
+			"payload_hex": payload,
+			"peaks": []map[string]any{
+				{"power_hex": strconv.FormatFloat(2*v, 'x', -1, 64)},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := doc(1.5, 7, "a5a5")
+	oneUlp := doc(math.Nextafter(1.5, 2), 7, "a5a5")
+	farFloat := doc(1.5*(1+1e-6), 7, "a5a5")
+
+	if err := compareGolden(base, base, mustMode(t, "exact")); err != nil {
+		t.Errorf("identical docs failed exact mode: %v", err)
+	}
+	if err := compareGolden(oneUlp, base, mustMode(t, "exact")); err == nil {
+		t.Error("1-ulp drift passed exact mode")
+	}
+	if err := compareGolden(oneUlp, base, mustMode(t, "ulp:2")); err != nil {
+		t.Errorf("1-ulp drift failed ulp:2: %v", err)
+	}
+	if err := compareGolden(oneUlp, base, mustMode(t, "ulp:0")); err == nil {
+		t.Error("1-ulp drift passed ulp:0")
+	}
+	if err := compareGolden(farFloat, base, mustMode(t, "rel:1e-5")); err != nil {
+		t.Errorf("1e-6 relative drift failed rel:1e-5: %v", err)
+	}
+	if err := compareGolden(farFloat, base, mustMode(t, "rel:1e-9")); err == nil {
+		t.Error("1e-6 relative drift passed rel:1e-9")
+	}
+
+	// Non-float corruption must fail in every mode, however loose.
+	loose := mustMode(t, "rel:1")
+	if err := compareGolden(doc(1.5, 8, "a5a5"), base, loose); err == nil {
+		t.Error("integer change passed tolerance mode")
+	}
+	if err := compareGolden(doc(1.5, 7, "a5a6"), base, loose); err == nil {
+		t.Error("payload hex-string change passed tolerance mode (payloads are not floats)")
+	}
+
+	// Structural corruption: missing key, extra key, wrong types, bad JSON.
+	var m map[string]any
+	if err := json.Unmarshal(base, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "bin")
+	missing, _ := json.Marshal(m)
+	if err := compareGolden(missing, base, loose); err == nil {
+		t.Error("missing key passed tolerance mode")
+	}
+	m["bin"] = 7
+	m["extra"] = 1
+	extra, _ := json.Marshal(m)
+	if err := compareGolden(extra, base, loose); err == nil {
+		t.Error("extra key passed tolerance mode")
+	}
+	if err := compareGolden([]byte(`{"value_hex": 1.5}`), base, loose); err == nil {
+		t.Error("type change passed tolerance mode")
+	}
+	if err := compareGolden(base[:len(base)-3], base, loose); err == nil {
+		t.Error("truncated regenerated doc passed tolerance mode")
+	}
+	if err := compareGolden(base, base[:len(base)-3], loose); err == nil {
+		t.Error("corrupted stored vector was not rejected")
+	}
+}

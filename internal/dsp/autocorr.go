@@ -1,0 +1,56 @@
+package dsp
+
+// FFTAutocorr computes biased autocorrelations through the Wiener–Khinchin
+// theorem: pad, forward real FFT, per-bin power, inverse real FFT. The
+// direct O(n·maxLag) loop in AutocorrelationInto is a single serial
+// accumulator chain — for the tag decoder's period search (n ≈ 30k samples,
+// maxLag ≈ 1000) it is FP-latency-bound and an order of magnitude slower
+// than the O(n log n) transform pair.
+//
+// The result differs from the direct sum only by FFT rounding (relative
+// error ~1e-13 at these sizes); TestFFTAutocorrMatchesDirect pins the
+// equivalence, and the decoder outputs that depend on it are golden-gated
+// under the rel tolerance mode.
+//
+// The zero value is ready to use. An FFTAutocorr owns growable scratch, so
+// it follows the usual single-threaded ownership contract: one instance per
+// goroutine.
+type FFTAutocorr struct {
+	buf  []float64
+	spec []complex128
+}
+
+// Into computes r[l] = Σ x[i]·x[i+l] / len(x) for l in [0, maxLag] into dst
+// (grown as needed and returned), like AutocorrelationInto. The transform is
+// padded to the next power of two at or above len(x)+maxLag+1, so the
+// circular correlation of the padded signal equals the linear one on every
+// requested lag.
+func (a *FFTAutocorr) Into(dst, x []float64, maxLag int) []float64 {
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	n := len(x)
+	m := NextPowerOfTwo(n + maxLag + 1)
+	plan, err := RealPlanFor(m)
+	if err != nil {
+		panic(err) // unreachable: m is a power of two
+	}
+	a.buf = Resize(a.buf, m)
+	copy(a.buf, x)
+	clear(a.buf[n:])
+	a.spec = Resize(a.spec, plan.SpectrumLen())
+	plan.ForwardInto(a.spec, a.buf)
+	for i, c := range a.spec {
+		a.spec[i] = complex(real(c)*real(c)+imag(c)*imag(c), 0)
+	}
+	plan.InverseInto(a.buf, a.spec)
+	r := Resize(dst, maxLag+1)
+	inv := 1 / float64(n)
+	for l := 0; l <= maxLag; l++ {
+		r[l] = a.buf[l] * inv
+	}
+	return r
+}

@@ -11,12 +11,31 @@ func Median(x []float64) float64 {
 	return m
 }
 
+// MedianSorted returns the upper median of an already-ascending slice —
+// x[len(x)/2] — and 0 for an empty slice. It is the O(1) tail of the median
+// pipeline, split out for callers that keep profiles sorted themselves.
+func MedianSorted(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return x[len(x)/2]
+}
+
 // MedianWith is Median with caller-provided sort scratch so hot loops skip
 // the per-call copy: scratch is grown as needed and returned for reuse. x
 // itself is never modified.
+//
+// Already-sorted inputs short-circuit: the O(n) order check is far cheaper
+// than the copy + O(n log n) sort it skips, and sorted profiles are common
+// on the detection paths (cumulative scans, pre-ranked candidate lists).
+// The fast path reads the same sorted order the sort would produce, so the
+// returned median is identical either way; scratch is left untouched.
 func MedianWith(scratch, x []float64) (float64, []float64) {
 	if len(x) == 0 {
 		return 0, scratch
+	}
+	if slices.IsSorted(x) {
+		return MedianSorted(x), scratch
 	}
 	scratch = Resize(scratch, len(x))
 	copy(scratch, x)

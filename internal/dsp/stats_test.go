@@ -1,6 +1,11 @@
 package dsp
 
-import "testing"
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
 
 func TestMedian(t *testing.T) {
 	cases := []struct {
@@ -27,6 +32,71 @@ func TestMedianDoesNotMutate(t *testing.T) {
 	Median(in)
 	if in[0] != 9 || in[1] != 1 || in[2] != 5 || in[3] != 3 {
 		t.Fatalf("Median mutated its input: %v", in)
+	}
+}
+
+// naiveMedian is the always-sort reference the pre-sorted fast path must
+// match bit for bit.
+func naiveMedian(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	slices.Sort(s)
+	return s[len(s)/2]
+}
+
+// TestMedianSortedFastPathIdentical proves the pre-sorted short-circuit in
+// MedianWith and the MedianSorted helper return exactly the median the full
+// copy+sort produces — over random, ascending, descending, constant, and
+// duplicate-heavy inputs.
+func TestMedianSortedFastPathIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var scratch []float64
+	check := func(label string, x []float64) {
+		t.Helper()
+		want := naiveMedian(x)
+		var got float64
+		got, scratch = MedianWith(scratch, x)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("%s: MedianWith %v, naive %v (input %v)", label, got, want, x)
+		}
+		if m := Median(x); math.Float64bits(m) != math.Float64bits(want) {
+			t.Fatalf("%s: Median %v, naive %v", label, m, want)
+		}
+		if slices.IsSorted(x) {
+			if m := MedianSorted(x); math.Float64bits(m) != math.Float64bits(want) {
+				t.Fatalf("%s: MedianSorted %v, naive %v", label, m, want)
+			}
+		}
+	}
+	check("empty", nil)
+	check("single", []float64{3.5})
+	check("constant", []float64{2, 2, 2, 2, 2})
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Round(rng.NormFloat64() * 4) // duplicates are likely
+		}
+		check("random", x)
+		slices.Sort(x)
+		check("ascending", x) // exercises the fast path
+		slices.Reverse(x)
+		check("descending", x)
+	}
+}
+
+// TestMedianWithSortedLeavesScratchAlone pins the fast path's contract:
+// an already-sorted input returns without touching (or growing) scratch.
+func TestMedianWithSortedLeavesScratchAlone(t *testing.T) {
+	scratch := []float64{99, 98}
+	m, out := MedianWith(scratch, []float64{1, 2, 3, 4, 5})
+	if m != 3 {
+		t.Fatalf("median = %v, want 3", m)
+	}
+	if len(out) != 2 || out[0] != 99 || out[1] != 98 {
+		t.Fatalf("scratch modified on the sorted fast path: %v", out)
 	}
 }
 

@@ -1,0 +1,95 @@
+package dsp
+
+import "math"
+
+// ToneTable precomputes everything data-independent in RealToneEnergy for a
+// fixed (freq, fs): the cos/sin basis samples and the running Gram sums of
+// the 2×2 normal equations. The tag decoder evaluates the same matched
+// filters — one per CSSK constellation point plus a fine-scan grid around
+// the winner — against every chirp slot of every frame, so the basis
+// recurrence and the Gram accumulation were being recomputed thousands of
+// times per exchange for inputs that never change.
+//
+// EnergyAt is bit-identical to RealToneEnergy on the same window: the basis
+// samples come from the identical rotation recurrence, the Gram prefix sums
+// accumulate in the identical order, and the data projections run over the
+// identical sequence — only the data-independent work moved out of the call.
+// TestToneTableMatchesRealToneEnergy pins this across every preset alphabet.
+//
+// A table grows lazily to the longest window it has seen and is otherwise
+// immutable; like the decoder that owns it, it is single-threaded.
+type ToneTable struct {
+	freq, fs float64
+	c, s     []float64 // basis samples c[i] = cos(ω·i), s[i] = sin(ω·i)
+	// Prefix Gram sums: ccc[k] = Σ_{i<k} c[i]², css/ccs likewise, each
+	// accumulated left to right exactly as RealToneEnergy's loop does.
+	ccc, css, ccs []float64
+}
+
+// NewToneTable builds a table for the tone at freq Hz sampled at fs,
+// precomputed for windows up to n samples (it grows on demand beyond that).
+func NewToneTable(freq, fs float64, n int) *ToneTable {
+	t := &ToneTable{freq: freq, fs: fs}
+	t.Grow(n)
+	return t
+}
+
+// Freq returns the tone frequency in Hz.
+func (t *ToneTable) Freq() float64 { return t.freq }
+
+// Cap returns the longest window the table currently covers.
+func (t *ToneTable) Cap() int { return len(t.c) }
+
+// Grow extends the table to cover windows of n samples. The recurrence
+// restarts from sample zero so the basis values are independent of the
+// growth history — any growth schedule yields the same table.
+func (t *ToneTable) Grow(n int) {
+	if n <= len(t.c) {
+		return
+	}
+	w := 2 * math.Pi * t.freq / t.fs
+	sinW, cosW := math.Sin(w), math.Cos(w)
+	t.c = Resize(t.c, n)
+	t.s = Resize(t.s, n)
+	t.ccc = Resize(t.ccc, n+1)
+	t.css = Resize(t.css, n+1)
+	t.ccs = Resize(t.ccs, n+1)
+	c, s := 1.0, 0.0
+	var ccc, css, ccs float64
+	t.ccc[0], t.css[0], t.ccs[0] = 0, 0, 0
+	for i := 0; i < n; i++ {
+		t.c[i], t.s[i] = c, s
+		ccc += c * c
+		css += s * s
+		ccs += c * s
+		t.ccc[i+1], t.css[i+1], t.ccs[i+1] = ccc, css, ccs
+		c, s = c*cosW-s*sinW, s*cosW+c*sinW
+	}
+}
+
+// EnergyAt returns RealToneEnergy(x, t.Freq(), fs) — same value, bit for
+// bit — using the precomputed basis.
+func (t *ToneTable) EnergyAt(x []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	t.Grow(n)
+	var xc, xs float64
+	cb, sb := t.c[:n], t.s[:n]
+	for i, v := range x {
+		xc += v * cb[i]
+		xs += v * sb[i]
+	}
+	ccc, css, ccs := t.ccc[n], t.css[n], t.ccs[n]
+	det := ccc*css - ccs*ccs
+	if math.Abs(det) < 1e-12 {
+		if ccc <= 0 {
+			return 0
+		}
+		return xc * xc / ccc
+	}
+	a := (css*xc - ccs*xs) / det
+	b := (ccc*xs - ccs*xc) / det
+	return a*xc + b*xs
+}

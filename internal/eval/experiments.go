@@ -188,12 +188,20 @@ func Fig6(o Options) (*Result, error) {
 		if start+length > len(x) {
 			length = len(x) - start
 		}
-		win := append([]float64(nil), x[start:start+length]...)
-		dsp.ApplyWindow(win, dsp.Window(dsp.WindowHann, len(win)))
-		spec := dsp.Magnitudes(dsp.FFTReal(win))
-		m := len(spec)
-		idx, _ := dsp.MaxIndexRange(spec, 1, m/2)
-		delta, _ := dsp.ParabolicPeak(spec, idx)
+		m := dsp.NextPowerOfTwo(length)
+		plan, err := dsp.RealPlanFor(m)
+		if err != nil {
+			return math.NaN()
+		}
+		win := make([]float64, m)
+		copy(win, x[start:start+length])
+		dsp.ApplyWindow(win[:length], dsp.Window(dsp.WindowHann, length))
+		spec := make([]complex128, plan.SpectrumLen())
+		plan.ForwardInto(spec, win)
+		mags := make([]float64, len(spec))
+		dsp.MagnitudesInto(mags, spec)
+		idx, _ := dsp.MaxIndexRange(mags, 1, m/2)
+		delta, _ := dsp.ParabolicPeak(mags, idx)
 		return (float64(idx) + delta) * fs / float64(m)
 	}
 	pSamples := int(period * fs)

@@ -1,0 +1,122 @@
+package radar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"biscatter/internal/channel"
+	"biscatter/internal/fmcw"
+)
+
+// TestSignatureProfilesIntoMatchesSingle pins the batched multi-tone
+// signature scan against one SignatureProfileInto call per tone, bit for
+// bit, and requires the result to be byte-identical at 1, 4, and 8 workers
+// — the worker-invariance contract extended to the batched fast path.
+func TestSignatureProfilesIntoMatchesSingle(t *testing.T) {
+	chirp := fmcw.ChirpParams{StartFrequency: 9e9, Bandwidth: 1e9, Duration: 60e-6, SampleRate: 2e6}
+	builder, err := fmcw.NewFrameBuilder(chirp, 120e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := builder.BuildUniform(32, 60e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const period = 120e-6
+	freqs := []float64{833, 1250, 1770, 2100}
+
+	var reference [][]float64
+	for _, workers := range []int{1, 4, 8} {
+		rd, err := New(Config{Chirp: chirp, Link: channel.DefaultLink(), NFFT: 256, RangeBins: 64, Workers: workers, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := make([]bool, 32)
+		for i := range states {
+			states[i] = i%4 < 2 // a slow-time square wave the signature scan can find
+		}
+		cap := rd.Observe(frame, Scene{
+			Clutter: []channel.Reflector{{Range: 3, RCSdBsm: 5}},
+			Tags:    []TagEcho{{Range: 1.8, States: states, PowerDBm: -60}},
+		})
+		cm, _ := rd.CorrectedMatrix(cap)
+		matrix := SubtractBackgroundMag(MagnitudeMatrix(cm))
+
+		batch := rd.SignatureProfilesInto(nil, matrix, freqs, period)
+		if len(batch) != len(freqs) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(batch), len(freqs))
+		}
+		for i, f := range freqs {
+			single := rd.SignatureProfileInto(nil, matrix, f, period)
+			if len(batch[i]) != len(single) {
+				t.Fatalf("workers=%d f=%v: batch row %d bins, single %d", workers, f, len(batch[i]), len(single))
+			}
+			for b := range single {
+				if math.Float64bits(batch[i][b]) != math.Float64bits(single[b]) {
+					t.Fatalf("workers=%d f=%v bin %d: batch %v, single %v", workers, f, b, batch[i][b], single[b])
+				}
+			}
+		}
+		if reference == nil {
+			reference = batch
+			continue
+		}
+		for i := range reference {
+			for b := range reference[i] {
+				if math.Float64bits(batch[i][b]) != math.Float64bits(reference[i][b]) {
+					t.Fatalf("workers=%d f=%v bin %d: %v differs from workers=1 %v",
+						workers, freqs[i], b, batch[i][b], reference[i][b])
+				}
+			}
+		}
+	}
+}
+
+// TestSignatureProfilesIntoEdgeCases covers the degenerate shapes the batch
+// scan must tolerate: no tones, no chirps, and row reuse across calls.
+func TestSignatureProfilesIntoEdgeCases(t *testing.T) {
+	chirp := fmcw.ChirpParams{StartFrequency: 9e9, Bandwidth: 1e9, Duration: 60e-6, SampleRate: 2e6}
+	rd, err := New(Config{Chirp: chirp, Link: channel.DefaultLink(), NFFT: 128, RangeBins: 32, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	if rows := rd.SignatureProfilesInto(nil, matrix, nil, 120e-6); len(rows) != 0 {
+		t.Fatalf("no tones: got %d rows", len(rows))
+	}
+	if rows := rd.SignatureProfilesInto(nil, nil, []float64{1250}, 120e-6); len(rows) != 1 {
+		t.Fatalf("empty matrix: got %d rows, want 1 (untouched)", len(rows))
+	}
+	first := rd.SignatureProfilesInto(nil, matrix, []float64{1250, 1770}, 120e-6)
+	second := rd.SignatureProfilesInto(first, matrix, []float64{1250}, 120e-6)
+	if &second[0][0] != &first[0][0] {
+		t.Error("row storage not reused across calls")
+	}
+}
+
+// TestHannTableMatchesDirectWindow pins the cached range-FFT window against
+// the formula rangeSpectrumInto previously evaluated inline per chirp:
+// w[k] = 0.5·(1 − cos(2πk/span)), with cum[n] the running coherent sum.
+func TestHannTableMatchesDirectWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		span := 40 + rng.Float64()*400
+		n := 1 + rng.Intn(256)
+		var tab hannTable
+		// Grow in two steps to prove history independence as well.
+		tab.grow(span, n/2)
+		tab.grow(span, n)
+		var sum float64
+		for k := 0; k < n; k++ {
+			w := 0.5 * (1 - math.Cos(2*math.Pi*float64(k)/span))
+			if math.Float64bits(tab.w[k]) != math.Float64bits(w) {
+				t.Fatalf("span=%v n=%d k=%d: cached %v, direct %v", span, n, k, tab.w[k], w)
+			}
+			sum += w
+			if math.Float64bits(tab.cum[k+1]) != math.Float64bits(sum) {
+				t.Fatalf("span=%v n=%d k=%d: cum %v, direct %v", span, n, k, tab.cum[k+1], sum)
+			}
+		}
+	}
+}

@@ -177,6 +177,49 @@ func (r *Radar) SignatureProfileInto(dst []float64, matrix [][]float64, fMod, pe
 	return out
 }
 
+// SignatureProfilesInto computes SignatureProfile for many modulation
+// frequencies in one traversal of the magnitude matrix: each range bin's
+// slow-time column is gathered once and every tone's Goertzel recurrence
+// runs over that same column, with the per-tone trig constants hoisted out
+// of the bin loop. Per (tone, bin) the arithmetic is identical to
+// SignatureProfileInto — same column values, same recurrence — so the
+// profiles are bit-identical for any worker count; only the memory traffic
+// changes. The joint multi-node detection scan previously re-traversed the
+// whole matrix once per tone (2 tones per node), which made it the second-
+// largest stage of the exchange after tag decoding.
+//
+// dst is grown to one row per frequency (rows reused across calls) and
+// returned; rows follow the usual radar-owned-scratch ownership rules.
+func (r *Radar) SignatureProfilesInto(dst [][]float64, matrix [][]float64, freqs []float64, period float64) [][]float64 {
+	sp := r.tel.matched.Span()
+	defer sp.End()
+	dst = ensureRows(dst, len(freqs))
+	if len(matrix) == 0 || len(freqs) == 0 {
+		return dst
+	}
+	chirpRate := 1 / period
+	coeffs := dsp.Resize(r.scr.coeffs, len(freqs))
+	r.scr.coeffs = coeffs
+	for i, f := range freqs {
+		coeffs[i] = dsp.NewGoertzelCoeff(f, chirpRate)
+	}
+	nBins := len(matrix[0])
+	out := dst[:len(freqs)]
+	for i := range out {
+		out[i] = dsp.Resize(out[i], nBins)
+	}
+	r.pool.ForArena(nBins, func(b int, a *dsp.Arena) {
+		col := a.Float(len(matrix))
+		for i := range col {
+			col[i] = matrix[i][b]
+		}
+		for t := range coeffs {
+			out[t][b] = dsp.GoertzelPowerWith(col, coeffs[t])
+		}
+	})
+	return dst
+}
+
 // DetectTag locates the backscatter tag that modulates at fMod by finding
 // the range bin with the strongest signature and refining the peak with
 // parabolic interpolation — the step that turns bin-width resolution into
@@ -227,10 +270,10 @@ func (r *Radar) DetectTagExcluding(matrix [][]float64, grid []float64, fMod, per
 		SNRdB: 10 * math.Log10(peak/med),
 	}
 	if r.tel.detSNR != nil {
-		// Guarded: SignatureDiag re-sorts the profile for its median, a
-		// cost the disabled-telemetry path must not pay.
 		r.tel.detSNR.Set(det.SNRdB)
-		r.tel.detPSL.Set(SignatureDiag(prof, bin).PeakToSidelobeDB)
+		// med is the same noise estimate the threshold above used; reusing
+		// it skips the sort a fresh SignatureDiag median would cost.
+		r.tel.detPSL.Set(SignatureDiagWithMedian(prof, bin, med).PeakToSidelobeDB)
 	}
 	return det, nil
 }
@@ -259,11 +302,19 @@ func (r *Radar) DecodeUplinkFSK(matrix [][]float64, bin int, cfg UplinkFSKConfig
 	chirpRate := 1 / cfg.Period
 	nBits := len(matrix) / cfg.ChirpsPerBit
 	bits := make([]bool, 0, nBits)
+	// Gather each bit window's slow-time column once and evaluate both tones
+	// over it with hoisted Goertzel constants — bit-identical to two
+	// slowTimeTonePower calls, at half the gathers and none of the trig.
+	c0 := dsp.NewGoertzelCoeff(cfg.F0, chirpRate)
+	c1 := dsp.NewGoertzelCoeff(cfg.F1, chirpRate)
 	col := make([]float64, cfg.ChirpsPerBit) // one column buffer for all windows
 	for w := 0; w < nBits; w++ {
 		sub := matrix[w*cfg.ChirpsPerBit : (w+1)*cfg.ChirpsPerBit]
-		p0 := slowTimeTonePower(col, sub, bin, cfg.F0, chirpRate)
-		p1 := slowTimeTonePower(col, sub, bin, cfg.F1, chirpRate)
+		for i := range col {
+			col[i] = sub[i][bin]
+		}
+		p0 := dsp.GoertzelPowerWith(col, c0)
+		p1 := dsp.GoertzelPowerWith(col, c1)
 		bits = append(bits, p1 > p0)
 	}
 	return bits, nil

@@ -112,6 +112,59 @@ type radarScratch struct {
 	noise  [][]complex128
 	ifRows [][]complex128
 	cmRows [][]complex128
+	// coeffs holds the per-tone Goertzel constants of the batched signature
+	// scan (SignatureProfilesInto).
+	coeffs []dsp.GoertzelCoeff
+	// wins caches the per-duration Hann windows of rangeSpectrumInto. A
+	// CSSK frame reuses a few dozen distinct chirp durations (one per
+	// constellation point), so the window samples and their running sum are
+	// computed once per duration instead of once per chirp.
+	wins map[float64]*hannTable
+}
+
+// hannTable is one cached range-FFT window: the sample values and their
+// prefix sums, both produced by exactly the loop rangeSpectrumInto used to
+// run per chirp — same formula, same accumulation order — so windowing and
+// normalization stay bit-identical to the uncached path.
+type hannTable struct {
+	w   []float64
+	cum []float64 // cum[k] = Σ_{i<k} w[i]
+}
+
+// grow extends the table to n samples of the window spanning span samples.
+// Recomputation restarts from zero, so the values are independent of the
+// growth history.
+func (t *hannTable) grow(span float64, n int) {
+	if n <= len(t.w) {
+		return
+	}
+	t.w = dsp.Resize(t.w, n)
+	t.cum = dsp.Resize(t.cum, n+1)
+	var sum float64
+	t.cum[0] = 0
+	for k := 0; k < n; k++ {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(k)/span))
+		t.w[k] = w
+		sum += w
+		t.cum[k+1] = sum
+	}
+}
+
+// hannFor returns the cached window for a chirp duration, grown to cover n
+// samples. Building mutates the window map, so only serial code may call it
+// — the parallel IF-correction fan-out pre-warms every duration in its
+// frame first and then reads the map without writes.
+func (r *Radar) hannFor(duration float64, n int) *hannTable {
+	t := r.scr.wins[duration]
+	if t == nil {
+		if r.scr.wins == nil {
+			r.scr.wins = make(map[float64]*hannTable, 8)
+		}
+		t = &hannTable{}
+		r.scr.wins[duration] = t
+	}
+	t.grow(duration*r.cfg.Chirp.SampleRate, n)
+	return t
 }
 
 // ensureRows grows rows to at least n entries (appending nil rows) without
@@ -382,12 +435,14 @@ func (r *Radar) rangeSpectrumInto(dst, ifSamples []complex128, duration float64)
 	if n > r.cfg.NFFT {
 		n = r.cfg.NFFT
 	}
-	span := duration * r.cfg.Chirp.SampleRate
 	var sumW float64
-	for k := 0; k < n; k++ {
-		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(k)/span))
-		buf[k] = ifSamples[k] * complex(w, 0)
-		sumW += w
+	if n > 0 {
+		t := r.hannFor(duration, n)
+		w := t.w[:n]
+		for k := 0; k < n; k++ {
+			buf[k] = ifSamples[k] * complex(w[k], 0)
+		}
+		sumW = t.cum[n]
 	}
 	r.plan.ForwardInto(buf, buf)
 	if sumW > 0 {
@@ -450,6 +505,16 @@ func (r *Radar) CorrectedMatrixContext(ctx context.Context, cap *Capture) ([][]c
 	csp := telemetry.SpanFromContext(ctx).Child("radar.if_correction", -1)
 	defer csp.End()
 	grid := r.RangeGrid(cap.Frame)
+	// Pre-warm the window cache serially for every duration in the frame:
+	// the workers below may then look windows up concurrently without any
+	// map writes (see hannFor).
+	for i, c := range cap.Frame.Chirps {
+		n := len(cap.IF[i])
+		if n > r.cfg.NFFT {
+			n = r.cfg.NFFT
+		}
+		r.hannFor(c.Params.Duration, n)
+	}
 	r.scr.cmRows = ensureRows(r.scr.cmRows, len(cap.IF))
 	out := r.scr.cmRows[:len(cap.IF)]
 	err := r.pool.ForContextArena(ctx, len(cap.IF), func(i int, a *dsp.Arena) error {

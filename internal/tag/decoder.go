@@ -74,6 +74,15 @@ type Decoder struct {
 	// scr holds capture-shaped scratch reused across decodes so the per-
 	// exchange pipeline stays allocation-free after warm-up.
 	scr decoderScratch
+	// fftAC computes the period-search autocorrelation by real FFT; it owns
+	// its transform scratch under the same single-threaded contract.
+	fftAC dsp.FFTAutocorr
+	// tones caches the matched-filter basis tables of classifySlot, keyed by
+	// beat frequency; see toneTable.
+	tones map[float64]*dsp.ToneTable
+	// tonesReady records that prewarmToneTables has run, so steady-state
+	// decoding never builds tables (the allocation pins depend on it).
+	tonesReady bool
 }
 
 // decoderScratch is the decoder's reusable buffer set: the squared power
@@ -155,7 +164,9 @@ func (d *Decoder) EstimatePeriod(x []float64) (float64, error) {
 	if maxLag <= minLag {
 		return 0, ErrTooShort
 	}
-	r := dsp.AutocorrelationInto(d.scr.acorr, env, maxLag+1)
+	// Wiener–Khinchin: the O(n log n) transform pair replaces the serial
+	// O(n·maxLag) accumulation, the period search's second-largest cost.
+	r := d.fftAC.Into(d.scr.acorr, env, maxLag+1)
 	d.scr.acorr = r
 	// The biased autocorrelation decays with lag, so the global maximum in
 	// range lands on the fundamental period rather than one of its
@@ -225,6 +236,95 @@ func (d *Decoder) refinePeriod(power []float64, p0 float64) float64 {
 	return best
 }
 
+// ceilMulExact returns ⌈k·period⌉ computed on the exact real product, not
+// the rounded float64 one. The two-product trick recovers the rounding
+// error of the multiply — hi+lo is exactly k·period because FMA rounds
+// once — and the ceiling is then corrected when that error crosses an
+// integer boundary. This is what lets the fold below walk period
+// boundaries with pure integer indices while matching the per-sample
+// int(math.Mod(float64(i), period)) bin assignment bit for bit: both are
+// the exact remainder ⌊i − k·period⌋ of real arithmetic (math.Mod is
+// exact by construction).
+func ceilMulExact(k, period float64) int {
+	hi := k * period
+	lo := math.FMA(k, period, -hi)
+	s := math.Ceil(hi)
+	// d and d+lo are exact: |hi−s| < 1 and |lo| ≤ ½ulp(hi), so both fit a
+	// 53-bit significand for the magnitudes the decoder sees (captures are
+	// far below 2^40 samples).
+	d := hi - s
+	t := d + lo // exact value of k·period − s
+	switch {
+	case t > 0:
+		s++
+	case t <= -1:
+		s--
+	}
+	return int(s)
+}
+
+// foldPeriodInto folds x (optionally squared first) at the candidate period
+// into the folded/counts accumulators. It is the exact-arithmetic
+// restructuring of the naive per-sample loop
+//
+//	b := int(math.Mod(float64(i), period)); folded[b] += v; counts[b]++
+//
+// the per-sample math.Mod of which dominated the whole exchange CPU profile.
+// Samples are processed as contiguous runs, one per chirp period: run k
+// covers samples [⌈k·period⌉, ⌈(k+1)·period⌉) and sample i inside it folds
+// to bin i − ⌈k·period⌉. Each bin still accumulates its samples in
+// ascending-index order, so the sums are bit-identical to the naive loop —
+// the golden vectors prove it.
+func foldPeriodInto(folded []float64, counts []int, x []float64, period float64, square bool) {
+	bins := len(folded)
+	n := len(x)
+	// counts never feeds the floating-point order, so it is hoisted out of
+	// the sample loop entirely: counts[m-1] first accumulates a run-length
+	// histogram (runs of in-bin length m), and the suffix sum below turns
+	// it into per-bin sample counts — integer-exact, O(bins) instead of
+	// O(n). That leaves the inner loop as a branch-free contiguous
+	// accumulation the compiler can keep in registers.
+	spill := 0
+	start := 0
+	for k := 1; start < n; k++ {
+		next := ceilMulExact(float64(k), period)
+		if next > n {
+			next = n
+		}
+		run := x[start:next]
+		inb := len(run)
+		if inb > bins {
+			inb = bins
+		}
+		if square {
+			for b, v := range run[:inb] {
+				folded[b] += v * v
+			}
+		} else {
+			for b, v := range run[:inb] {
+				folded[b] += v
+			}
+		}
+		// Runs are floor(period) or ceil(period) samples long, so only the
+		// final sample of a long run can pass bins-1; it clamps onto the
+		// last bin after that bin's regular sample, exactly like the naive
+		// loop's b >= bins guard in ascending index order.
+		for _, v := range run[inb:] {
+			if square {
+				v *= v
+			}
+			folded[bins-1] += v
+			spill++
+		}
+		counts[inb-1]++
+		start = next
+	}
+	for b := bins - 2; b >= 0; b-- {
+		counts[b] += counts[b+1]
+	}
+	counts[bins-1] += spill
+}
+
 // foldContrast folds the power envelope at the candidate period and returns
 // the contrast between the loudest and quietest deciles of the fold. The
 // true period aligns every inter-chirp gap onto the same bins, maximizing
@@ -241,14 +341,7 @@ func (d *Decoder) foldContrast(power []float64, period float64) float64 {
 	counts := dsp.Resize(d.scr.counts, bins)
 	clear(counts)
 	d.scr.counts = counts
-	for i, v := range power {
-		b := int(math.Mod(float64(i), period))
-		if b >= bins {
-			b = bins - 1
-		}
-		folded[b] += v
-		counts[b]++
-	}
+	foldPeriodInto(folded, counts, power, period, false)
 	for b := range folded {
 		if counts[b] > 0 {
 			folded[b] /= float64(counts[b])
@@ -293,14 +386,7 @@ func (d *Decoder) AlignChirpStart(x []float64, period float64) int {
 	counts := dsp.Resize(d.scr.counts, bins)
 	clear(counts)
 	d.scr.counts = counts
-	for i, v := range x {
-		b := int(math.Mod(float64(i), period))
-		if b >= bins {
-			b = bins - 1
-		}
-		folded[b] += v * v
-		counts[b]++
-	}
+	foldPeriodInto(folded, counts, x, period, true)
 	for b := range folded {
 		if counts[b] > 0 {
 			folded[b] /= float64(counts[b])
@@ -324,6 +410,60 @@ func (d *Decoder) AlignChirpStart(x []float64, period float64) int {
 	return bestBin
 }
 
+// toneTable returns the decoder's cached matched-filter table for a beat
+// frequency, building it on first use. Tables are keyed by the exact
+// float64 bits of the frequency; the constellation and each symbol's
+// fine-scan grid regenerate identical frequency sequences every slot, so
+// steady-state decoding hits the cache and allocates nothing here.
+func (d *Decoder) toneTable(freq float64) *dsp.ToneTable {
+	if t, ok := d.tones[freq]; ok {
+		return t
+	}
+	if d.tones == nil {
+		d.tones = make(map[float64]*dsp.ToneTable, 64)
+	}
+	t := dsp.NewToneTable(freq, d.SampleRate, 0)
+	d.tones[freq] = t
+	return t
+}
+
+// prewarmToneTables builds every matched-filter table the classify path can
+// request — one per constellation symbol plus each symbol's fine-scan grid —
+// grown to the symbol's full window, so the per-(frame, slot) hot loop only
+// ever hits the cache. It runs once, on the first decode: the alphabet and
+// sample rate are fixed at construction, so the working set is closed; a
+// mode change builds a new Decoder and with it a fresh cache. The fine-grid
+// frequencies are enumerated by the exact accumulation loop classifySlot
+// uses, so the cache keys match its queries bit for bit.
+func (d *Decoder) prewarmToneTables() {
+	if d.tonesReady || d.Method == MethodFFT {
+		return
+	}
+	d.tonesReady = true
+	spacing := d.Alphabet.MinSpacing()
+	warm := func(s cssk.Symbol, err error) {
+		if err != nil {
+			return
+		}
+		n := int(s.Duration * d.SampleRate)
+		if n < 0 {
+			n = 0
+		}
+		d.toneTable(s.Beat).Grow(n)
+		for f := s.Beat - 1.5*spacing; f <= s.Beat+1.5*spacing; f += spacing / 10 {
+			if f <= 0 || f >= d.SampleRate/2 {
+				continue
+			}
+			d.toneTable(f).Grow(n)
+		}
+	}
+	warm(d.Alphabet.Header(), nil)
+	warm(d.Alphabet.Sync(), nil)
+	for i := 0; i < d.Alphabet.DataSymbolCount(); i++ {
+		warm(d.Alphabet.DataSymbol(i))
+	}
+}
+
 // classifySlot classifies one chirp slot starting at sample w using the
 // per-candidate matched window.
 func (d *Decoder) classifySlot(x []float64, w int, period float64) (cssk.Symbol, bool) {
@@ -338,7 +478,7 @@ func (d *Decoder) classifySlot(x []float64, w int, period float64) (cssk.Symbol,
 			return
 		}
 		win := x[w : w+n]
-		p := dsp.RealToneEnergy(win, s.Beat, d.SampleRate) / float64(n)
+		p := d.toneTable(s.Beat).EnergyAt(win) / float64(n)
 		if p > best {
 			best = p
 			bestSym = s
@@ -355,17 +495,25 @@ func (d *Decoder) classifySlot(x []float64, w int, period float64) (cssk.Symbol,
 		if n < 8 {
 			return cssk.Symbol{}, false
 		}
-		win := append([]float64(nil), x[w:w+n]...)
-		dsp.ApplyWindow(win, dsp.Window(dsp.WindowHann, n))
-		spec := dsp.Magnitudes(dsp.FFTReal(win))
-		m := len(spec)
+		m := dsp.NextPowerOfTwo(n)
+		plan, err := dsp.RealPlanFor(m)
+		if err != nil {
+			return cssk.Symbol{}, false
+		}
+		win := make([]float64, m)
+		copy(win, x[w:w+n])
+		dsp.ApplyWindow(win[:n], dsp.Window(dsp.WindowHann, n))
+		spec := make([]complex128, plan.SpectrumLen())
+		plan.ForwardInto(spec, win)
+		mags := make([]float64, len(spec))
+		dsp.MagnitudesInto(mags, spec)
 		lo := 1
 		hi := m / 2
 		if hi <= lo {
 			return cssk.Symbol{}, false
 		}
-		idx, _ := dsp.MaxIndexRange(spec, lo, hi)
-		delta, _ := dsp.ParabolicPeak(spec, idx)
+		idx, _ := dsp.MaxIndexRange(mags, lo, hi)
+		delta, _ := dsp.ParabolicPeak(mags, idx)
 		freq := (float64(idx) + delta) * d.SampleRate / float64(m)
 		return d.Alphabet.ClassifyBeat(freq), true
 	}
@@ -397,7 +545,7 @@ func (d *Decoder) classifySlot(x []float64, w int, period float64) (cssk.Symbol,
 			if f <= 0 || f >= d.SampleRate/2 {
 				continue
 			}
-			if p := dsp.RealToneEnergy(win, f, d.SampleRate); p > pBest {
+			if p := d.toneTable(f).EnergyAt(win); p > pBest {
 				pBest, fBest = p, f
 			}
 		}
@@ -458,6 +606,7 @@ func (d *Decoder) edgeOffset(x []float64, w int) int {
 // DecodeFrame runs the full pipeline on a capture: period estimation,
 // alignment, per-slot classification.
 func (d *Decoder) DecodeFrame(x []float64) ([]cssk.Symbol, Diagnostics, error) {
+	d.prewarmToneTables()
 	period, err := d.EstimatePeriod(x)
 	if err != nil {
 		return nil, Diagnostics{}, err

@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
-# Perf-budget gate: runs BenchmarkExchange once at workers=1 and fails if
-# ns/op regresses more than the budget over the committed baseline in
-# BENCH_exchange.json (the workers=1 entry — the serial figure is the most
-# stable across hosts; parallel widths are bounded by the runner's cores).
+# Perf-budget gate: runs BenchmarkExchange once at workers=1 and compares
+# ns/op against the committed baseline in BENCH_exchange.json (the workers=1
+# entry — the serial figure is the most stable across hosts; parallel widths
+# are bounded by the runner's cores). The gate is two-sided:
 #
-# A single -benchtime 1x iteration is noisy, so the budget is deliberately
-# loose: it catches a change that makes the exchange pipeline structurally
-# slower (an accidental O(n^2), tracing left on in the hot path), not a few
-# percent of drift. Refresh the baseline with scripts/bench_exchange.sh when
-# a PR intentionally moves the number. Usage:
+#   - more than budget_percent SLOWER  → hard failure. A single -benchtime 1x
+#     iteration is noisy, so the budget is deliberately loose: it catches a
+#     change that makes the exchange pipeline structurally slower (an
+#     accidental O(n^2), tracing left on in the hot path), not a few percent
+#     of drift.
+#   - more than improve_percent FASTER → GitHub warning annotation. A big
+#     improvement with no baseline refresh means BENCH_exchange.json is
+#     stale: every later PR would be graded against a number nobody can
+#     reproduce, and a real regression could hide inside the stale margin.
+#     Refresh with scripts/bench_exchange.sh and commit the new JSON.
 #
-#   scripts/check_bench.sh [budget_percent]    # default 15
+# Usage:
+#
+#   scripts/check_bench.sh [budget_percent] [improve_percent]   # default 15 20
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 budget="${1:-15}"
+improve="${2:-20}"
 baseline_file=BENCH_exchange.json
 
 baseline="$(awk -F'[:,]' '/"workers": 1,/ {
@@ -36,11 +44,14 @@ if [ -z "$current" ]; then
   exit 1
 fi
 
-awk -v cur="$current" -v base="$baseline" -v budget="$budget" 'BEGIN {
+awk -v cur="$current" -v base="$baseline" -v budget="$budget" -v improve="$improve" 'BEGIN {
   pct = 100 * (cur - base) / base
-  printf "exchange ns/op: baseline %.0f, current %.0f (%+.1f%%, budget +%d%%)\n", base, cur, pct, budget
+  printf "exchange ns/op: baseline %.0f, current %.0f (%+.1f%%, budget +%d%% / -%d%%)\n", base, cur, pct, budget, improve
   if (pct > budget) {
     print "check_bench.sh: perf budget exceeded" > "/dev/stderr"
     exit 1
+  }
+  if (pct < -improve) {
+    printf "::warning file=BENCH_exchange.json::BenchmarkExchange workers=1 is %.1f%% faster than the committed baseline — the baseline looks stale. Refresh it with scripts/bench_exchange.sh and commit the new BENCH_exchange.json so future regressions are measured against the real number.\n", -pct
   }
 }'
