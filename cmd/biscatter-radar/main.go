@@ -7,6 +7,19 @@
 //
 //	biscatter-radar -tag 127.0.0.1:7001 -range 3.0 -payload "hello" -rounds 3
 //
+// Gateway mode (-tags N) serves a fleet of biscatter-tag client processes
+// instead of the single-peer demo: the radar owns the full exchange pipeline
+// and each tag submits its uplink bits over a supervised session (heartbeat
+// liveness, per-session circuit breakers, bounded send queues). Every round
+// is captured into a replayable exchange record:
+//
+//	biscatter-radar -listen 127.0.0.1:9100 -tags 3 -rounds 5 -record-out run.bsctrace
+//	biscatter-tag -connect 127.0.0.1:9100 -id 1   # × N, each with its own -id
+//	biscatter-sim replay run.bsctrace             # verify byte-identical
+//
+// The -net-* flags inject deterministic transport faults (drop, duplicate,
+// reorder, corrupt, delay) for chaos testing; see also biscatter-sim chaos.
+//
 // Observability: -debug-addr serves live pipeline telemetry over HTTP
 // (/metrics (OpenMetrics), /metrics.json, /debug/trace, /debug/vars,
 // /debug/pprof/) while rounds run, -metrics-out dumps the final telemetry
@@ -16,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,11 +41,16 @@ import (
 	"biscatter/internal/netio"
 	"biscatter/internal/radar"
 	"biscatter/internal/telemetry"
+	"biscatter/internal/trace"
 )
 
 func main() {
 	tagAddr := flag.String("tag", "127.0.0.1:7001", "tag process UDP address")
-	listen := flag.String("listen", "127.0.0.1:0", "local UDP address")
+	sf := netio.RegisterServiceFlags(flag.CommandLine)
+	faults := netio.RegisterNetFaultFlags(flag.CommandLine)
+	tags := flag.Int("tags", 0, "serve this many tag sessions in gateway mode (0 = single-peer demo)")
+	minTags := flag.Int("min-tags", 0, "gateway mode: wait for this many sessions before round 0 (0 = -tags)")
+	recordOut := flag.String("record-out", "", "gateway mode: write the exchange record to this file")
 	tagRange := flag.Float64("range", 2.6, "simulated radar–tag distance in meters")
 	payload := flag.String("payload", "hello tag", "downlink payload")
 	bits := flag.Int("bits", 5, "CSSK symbol size (must match the tag)")
@@ -43,9 +62,117 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write per-round exchange traces to this file (.json = Chrome trace_event, else JSONL)")
 	flag.Parse()
 
-	if err := run(*tagAddr, *listen, *tagRange, *payload, *bits, *fecName, *rounds, *seed, *debugAddr, *metricsOut, *traceOut); err != nil {
+	if *tags > 0 {
+		if err := serveGateway(sf, faults, *tags, *minTags, *rounds, *seed, *payload, *recordOut, *debugAddr, *metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	listen := sf.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	if err := run(*tagAddr, listen, *tagRange, *payload, *bits, *fecName, *rounds, *seed, *debugAddr, *metricsOut, *traceOut); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// gatewayConfig places n nodes (n ≤ 4) with uplink tone pairs below the
+// slow-time band limit, matching the chaos conformance deployment.
+func gatewayConfig(n int, seed int64, metrics *telemetry.Metrics) (core.Config, error) {
+	if n < 1 || n > 4 {
+		return core.Config{}, fmt.Errorf("-tags must be between 1 and 4, got %d", n)
+	}
+	cfg := core.Config{Seed: seed, Metrics: metrics}
+	for i := 0; i < n; i++ {
+		f0 := 1000 + 800*float64(i)
+		cfg.Nodes = append(cfg.Nodes, core.NodeConfig{
+			ID:           uint8(i + 1),
+			Range:        1.5 + 1.2*float64(i),
+			ModulationF0: f0,
+			ModulationF1: f0 + 400,
+		})
+	}
+	return cfg, nil
+}
+
+// serveGateway runs the distributed fleet service: a netio.Gateway
+// supervising -tags client sessions, each round executed on the in-process
+// exchange pipeline and captured into a replayable record.
+func serveGateway(sf *netio.ServiceFlags, faults *netio.NetFaultProfile,
+	tags, minTags, rounds int, seed int64, payload, recordOut, debugAddr, metricsOut string) error {
+
+	metrics := telemetry.New()
+	flight := telemetry.NewFlightRecorder(64)
+	cfg, err := gatewayConfig(tags, seed, metrics)
+	if err != nil {
+		return err
+	}
+	netw, err := core.NewNetwork(cfg)
+	if err != nil {
+		return err
+	}
+	rec, err := core.NewExchangeRecorder(netw)
+	if err != nil {
+		return err
+	}
+	rec.SetMeta("tool", "biscatter-radar gateway")
+	fn, err := core.NewGatewayHandler(rec, func(round uint64) []byte {
+		return []byte(payload)
+	})
+	if err != nil {
+		return err
+	}
+	if debugAddr != "" {
+		ln, derr := telemetry.ServeDebugConfig(debugAddr, telemetry.DebugConfig{
+			Metrics: metrics,
+			Flight:  flight,
+		})
+		if derr != nil {
+			return fmt.Errorf("debug server: %w", derr)
+		}
+		defer ln.Close()
+		log.Printf("telemetry on http://%s/metrics.json", ln.Addr())
+	}
+	listen := sf.Listen
+	if listen == "" {
+		listen = "127.0.0.1:9100"
+	}
+	conn, err := netio.Listen(listen, netio.WithMetrics(metrics), netio.WithNetFaults(faults))
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if minTags <= 0 {
+		minTags = tags
+	}
+	log.Printf("gateway on %v: %d-node fleet, %d rounds, min %d sessions", conn.Addr(), tags, rounds, minTags)
+	gw := netio.NewGateway(conn, netio.GatewayConfig{
+		MinSessions:       minTags,
+		Rounds:            uint64(rounds),
+		HeartbeatInterval: sf.Heartbeat,
+		SessionTimeout:    sf.SessionTimeout,
+		Metrics:           metrics,
+		Flight:            flight,
+		Logf:              log.Printf,
+	}, fn)
+	if err := gw.Run(context.Background()); err != nil {
+		return err
+	}
+	record := rec.Record()
+	log.Printf("gateway done: %d rounds recorded", len(record.Rounds))
+	if recordOut != "" {
+		if err := trace.SaveExchange(recordOut, record); err != nil {
+			return fmt.Errorf("record-out: %w", err)
+		}
+		log.Printf("exchange record written to %s (verify with: biscatter-sim replay %s)", recordOut, recordOut)
+	}
+	if metricsOut != "" {
+		if err := telemetry.WriteSnapshotFile(metricsOut, metrics.Snapshot()); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	return nil
 }
 
 func run(tagAddr, listen string, tagRange float64, payload string, bits int, fecName string, rounds int, seed int64, debugAddr, metricsOut, traceOut string) error {

@@ -22,14 +22,24 @@
 //
 //	biscatter-sim record -out run.bsctrace -rounds 20 -nodes 4 -seed 7
 //	biscatter-sim replay run.bsctrace
+//
+// The chaos subcommand runs the full distributed stack in one process: a
+// loopback netio gateway serving N tag clients over UDP with deterministic
+// transport faults injected (drop/duplicate/reorder/corrupt), then verifies
+// the captured exchange record replays byte-identically against the
+// in-process oracle:
+//
+//	biscatter-sim chaos -tags 3 -rounds 5 -net-drop 0.1 -net-reorder 0.05
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"biscatter/internal/core"
@@ -37,6 +47,7 @@ import (
 	"biscatter/internal/fault"
 	"biscatter/internal/fmcw"
 	"biscatter/internal/mac"
+	"biscatter/internal/netio"
 	"biscatter/internal/telemetry"
 	"biscatter/internal/trace"
 )
@@ -48,6 +59,8 @@ func main() {
 			os.Exit(runRecord(os.Args[2:]))
 		case "replay":
 			os.Exit(runReplay(os.Args[2:]))
+		case "chaos":
+			os.Exit(runChaos(os.Args[2:]))
 		}
 	}
 	frames := flag.Int("frames", 0, "frames per BER point (0 = default 40; the paper uses 10000)")
@@ -265,6 +278,155 @@ func runReplay(args []string) int {
 	fmt.Printf("replay OK: %d rounds byte-identical in %.1fs\n",
 		report.Rounds, time.Since(start).Seconds())
 	return 0
+}
+
+// runChaos runs the distributed gateway/client stack over loopback UDP with
+// deterministic transport faults, then proves conformance: the captured
+// exchange record must replay byte-identically on the in-process pipeline.
+func runChaos(args []string) int {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	tags := fs.Int("tags", 3, "number of tag clients (1–4)")
+	rounds := fs.Int("rounds", 5, "number of exchange rounds")
+	seed := fs.Int64("seed", 424, "network noise seed")
+	out := fs.String("out", "", "also write the exchange record to this file")
+	faults := netio.RegisterNetFaultFlags(fs)
+	fs.Parse(args)
+	if faults.Drop == 0 && faults.Reorder == 0 && faults.Duplicate == 0 && faults.Corrupt == 0 && faults.Delay == 0 {
+		// Chaos without faults proves nothing; default to the acceptance duty.
+		faults.Drop, faults.Reorder, faults.Duplicate = 0.10, 0.05, 0.03
+	}
+	if *tags < 1 || *tags > 4 {
+		fmt.Fprintf(os.Stderr, "chaos: -tags must be between 1 and 4, got %d\n", *tags)
+		return 2
+	}
+
+	tones := [][2]float64{{1000, 1400}, {1800, 2200}, {2600, 3000}, {3400, 3800}}
+	cfg := core.Config{Seed: *seed, ChirpsPerBit: 16}
+	for i := 0; i < *tags; i++ {
+		cfg.Nodes = append(cfg.Nodes, core.NodeConfig{
+			ID:           uint8(i + 1),
+			Range:        1.5 + 1.2*float64(i),
+			ModulationF0: tones[i][0],
+			ModulationF1: tones[i][1],
+		})
+	}
+	netw, err := core.NewNetwork(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	rec, err := core.NewExchangeRecorder(netw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	rec.SetMeta("tool", "biscatter-sim chaos")
+	fn, err := core.NewGatewayHandler(rec, func(round uint64) []byte {
+		return core.RandomPayload(*seed+int64(round)*977, 4)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+
+	metrics := telemetry.New()
+	flight := telemetry.NewFlightRecorder(64)
+	gwConn, err := netio.Listen("127.0.0.1:0", netio.WithMetrics(metrics), netio.WithNetFaults(faults))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	defer gwConn.Close()
+	gw := netio.NewGateway(gwConn, netio.GatewayConfig{
+		MinSessions: *tags,
+		Rounds:      uint64(*rounds),
+		Metrics:     metrics,
+		Flight:      flight,
+	}, fn)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gw.Run(ctx) }()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, *tags)
+	for i := 0; i < *tags; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = chaosClient(ctx, gwConn.Addr().String(), uint8(i+1), *seed, *rounds, faults)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
+	}
+	if err := <-gwDone; err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: gateway: %v\n", err)
+		return 1
+	}
+
+	record := rec.Record()
+	injected := metrics.Counter("netio.fault.dropped").Value() +
+		metrics.Counter("netio.fault.duplicated").Value() +
+		metrics.Counter("netio.fault.reordered").Value() +
+		metrics.Counter("netio.fault.corrupted").Value()
+	fmt.Printf("chaos: %d tags × %d rounds over loopback UDP in %.1fs (%d faults injected, %d session retries)\n",
+		*tags, len(record.Rounds), time.Since(start).Seconds(), injected,
+		metrics.Counter("netio.retries").Value()+metrics.Counter("netio.client.retries").Value())
+	if *out != "" {
+		if err := trace.SaveExchange(*out, record); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
+		fmt.Printf("chaos: record written to %s\n", *out)
+	}
+	report, err := core.ReplayRecord(record)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: replay: %v\n", err)
+		return 1
+	}
+	if !report.OK() {
+		fmt.Fprintf(os.Stderr, "chaos: replay DIVERGED: %d mismatches over %d rounds\n",
+			len(report.Mismatches), report.Rounds)
+		for _, m := range report.Mismatches {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+		return 1
+	}
+	fmt.Printf("chaos: replay OK — %d distributed rounds byte-identical to the in-process oracle\n", report.Rounds)
+	return 0
+}
+
+// chaosClient is one tag's session: dial the gateway and submit every round.
+func chaosClient(ctx context.Context, addr string, id uint8, seed int64, rounds int, faults *netio.NetFaultProfile) error {
+	p := *faults
+	p.Seed = faults.Seed + int64(id)*1000
+	conn, err := netio.Listen("127.0.0.1:0", netio.WithNetFaults(&p))
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	c, err := netio.Dial(conn, addr, netio.ClientConfig{TagID: id, Seed: seed + int64(id)})
+	if err != nil {
+		return fmt.Errorf("tag %d: %w", id, err)
+	}
+	defer c.Close()
+	for r := 0; r < rounds; r++ {
+		bits := uplinkPattern(seed + int64(r*251) + int64(id))
+		res, err := c.SubmitRound(ctx, bits)
+		if err != nil {
+			return fmt.Errorf("tag %d round %d: %w", id, r, err)
+		}
+		if res.Status == netio.RoundError {
+			return fmt.Errorf("tag %d round %d: %s", id, res.Round, res.Outcome.Err)
+		}
+	}
+	return nil
 }
 
 // uplinkPattern derives a small deterministic uplink bit pattern from a seed.

@@ -8,6 +8,18 @@
 //
 //	biscatter-tag -listen 127.0.0.1:7001 -id 1
 //
+// Client mode (-connect) joins a biscatter-radar gateway instead: the tag
+// holds a supervised session (handshake, heartbeats, ARQ retransmission with
+// deterministic backoff) and submits its uplink bits each round, receiving
+// the round outcome — decoded downlink payload, its own localization fix and
+// demodulated uplink bits — over the wire. If the gateway evicts the session
+// (e.g. after a network partition outlasts the liveness deadline) the client
+// re-handshakes transparently and resumes at the gateway's current round:
+//
+//	biscatter-tag -connect 127.0.0.1:9100 -id 1 -rounds 5
+//
+// The -net-* flags inject deterministic transport faults for chaos testing.
+//
 // Observability: -trace-out writes one causal span tree per received frame
 // (capture, decode, reply) as Chrome trace_event (.json) or JSONL. Traces
 // use the radar's frame sequence number as the exchange sequence, so a
@@ -15,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +43,8 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7001", "UDP address to listen on")
+	sf := netio.RegisterServiceFlags(flag.CommandLine)
+	faults := netio.RegisterNetFaultFlags(flag.CommandLine)
 	id := flag.Int("id", 1, "tag ID")
 	bits := flag.Int("bits", 5, "CSSK symbol size (must match the radar)")
 	fecName := flag.String("fec", "none", "downlink FEC scheme: none, hamming or repetition (must match the radar)")
@@ -41,9 +55,65 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write per-frame exchange traces to this file (.json = Chrome trace_event, else JSONL)")
 	flag.Parse()
 
-	if err := run(*listen, uint8(*id), *bits, *fecName, *seed, *uplink, *rounds, *record, *traceOut); err != nil {
+	if sf.Connect != "" {
+		if err := runClient(sf, faults, uint8(*id), *seed, *uplink, *rounds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	listen := sf.Listen
+	if listen == "" {
+		listen = "127.0.0.1:7001"
+	}
+	if err := run(listen, uint8(*id), *bits, *fecName, *seed, *uplink, *rounds, *record, *traceOut); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runClient joins a gateway fleet: handshake, then one SubmitRound per
+// round until the bound is reached (or forever when rounds == 0).
+func runClient(sf *netio.ServiceFlags, faults *netio.NetFaultProfile, id uint8, seed int64, uplink string, rounds int) error {
+	listen := sf.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	conn, err := netio.Listen(listen, netio.WithNetFaults(faults))
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	c, err := netio.Dial(conn, sf.Connect, netio.ClientConfig{
+		TagID:             id,
+		Seed:              seed,
+		HeartbeatInterval: sf.Heartbeat,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	log.Printf("tag %d: session %d with gateway %s, starting at round %d",
+		id, c.SessionID(), sf.Connect, c.Round())
+
+	uplinkBits := bytesToBits([]byte(uplink))
+	ctx := context.Background()
+	for done := 0; rounds == 0 || done < rounds; done++ {
+		res, err := c.SubmitRound(ctx, uplinkBits)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", c.Round(), err)
+		}
+		switch res.Status {
+		case netio.RoundOK:
+			log.Printf("round %d: payload %q, localized at %.3f m (SNR %.1f dB), %d uplink bits echoed",
+				res.Round, res.Outcome.DownlinkPayload, res.Outcome.DetectionRange,
+				res.Outcome.DetectionSNRdB, len(res.Outcome.UplinkBits))
+		case netio.RoundSkipped:
+			log.Printf("round %d: skipped (submission missed the round barrier)", res.Round)
+		default:
+			log.Printf("round %d: error %q", res.Round, res.Outcome.Err)
+		}
+	}
+	return nil
 }
 
 func run(listen string, id uint8, bits int, fecName string, seed int64, uplink string, rounds int, record, traceOut string) error {

@@ -235,9 +235,9 @@ type exchangeScratch struct {
 	toneFreqs []float64
 	toneIdx   []int
 	sigRows   [][]float64
-	dets   []radar.Detection
-	diags  []radar.DetectionDiag
-	errs   []error
+	dets      []radar.Detection
+	diags     []radar.DetectionDiag
+	errs      []error
 	// active[i] reports whether node i modulates in the current round;
 	// inactive nodes hold a static switch state and are skipped by the
 	// decode/detect stages. Set by setActive before every round.

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"biscatter/internal/netio"
+)
+
+// NewGatewayHandler bridges a netio.Gateway to the core exchange pipeline:
+// the returned netio.ExchangeFunc runs each submitted round on the
+// recorder's network and digests per-node results into wire outcomes. The
+// gateway (not the tags) owns the physics, so a distributed run computes
+// the exact pipeline the in-process oracle does — which is what lets the
+// chaos conformance suite replay the captured trace.ExchangeRecord
+// byte-for-byte against it.
+//
+// Tags are mapped to nodes by NodeConfig.ID. payload supplies the round's
+// downlink payload (so the record's inputs stay deterministic per round
+// index regardless of network timing). When only a subset of tags submits
+// a round, the round runs with WithActiveNodes over that subset — the rest
+// of the fleet keeps exchanging while quarantined or evicted tags sit out,
+// and the record captures the active set so replay reproduces it.
+func NewGatewayHandler(rec *ExchangeRecorder, payload func(round uint64) []byte) (netio.ExchangeFunc, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("core: gateway handler needs a recorder")
+	}
+	if payload == nil {
+		return nil, fmt.Errorf("core: gateway handler needs a payload source")
+	}
+	cfg := rec.Network().Config()
+	nodeByTag := make(map[uint8]int, len(cfg.Nodes))
+	for i, nc := range cfg.Nodes {
+		if _, dup := nodeByTag[nc.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate node ID %d", nc.ID)
+		}
+		nodeByTag[nc.ID] = i
+	}
+	return func(round uint64, uplinkBits map[uint8][]bool) (map[uint8]netio.Outcome, error) {
+		bits := make(map[int][]bool, len(uplinkBits))
+		active := make([]int, 0, len(uplinkBits))
+		outcomes := make(map[uint8]netio.Outcome, len(uplinkBits))
+		for tagID, b := range uplinkBits {
+			idx, ok := nodeByTag[tagID]
+			if !ok {
+				outcomes[tagID] = netio.Outcome{Err: fmt.Sprintf("core: unknown tag %d", tagID)}
+				continue
+			}
+			bits[idx] = b
+			active = append(active, idx)
+		}
+		if len(active) == 0 {
+			return outcomes, nil
+		}
+		sort.Ints(active)
+		var opts []ExchangeOption
+		if len(active) < len(cfg.Nodes) {
+			// A strict subset submitted: restrict the round so the record's
+			// active set mirrors the session state. A full house runs with
+			// the default all-active round, byte-identical to the oracle's.
+			opts = append(opts, WithActiveNodes(active...))
+		}
+		res, err := rec.Exchange(payload(round), bits, opts...)
+		if err != nil {
+			return nil, err
+		}
+		for tagID, idx := range nodeByTag {
+			if _, submitted := bits[idx]; !submitted {
+				continue
+			}
+			outcomes[tagID] = digestOutcome(res.Nodes[idx])
+		}
+		return outcomes, nil
+	}, nil
+}
+
+// digestOutcome converts a NodeResult into its wire digest — the same
+// fields (and the same deep copies) as the replay layer's
+// outcomesFromNodes.
+func digestOutcome(nr NodeResult) netio.Outcome {
+	o := netio.Outcome{
+		DownlinkPayload: append([]byte(nil), nr.DownlinkPayload...),
+		DetectionRange:  nr.Detection.Range,
+		DetectionBin:    int32(nr.Detection.Bin),
+		DetectionSNRdB:  nr.Detection.SNRdB,
+		UplinkBits:      append([]bool(nil), nr.UplinkBits...),
+	}
+	if nr.DownlinkErr != nil {
+		o.DownlinkErr = nr.DownlinkErr.Error()
+	}
+	if nr.DetectionErr != nil {
+		o.DetectionErr = nr.DetectionErr.Error()
+	}
+	if nr.UplinkErr != nil {
+		o.UplinkErr = nr.UplinkErr.Error()
+	}
+	return o
+}

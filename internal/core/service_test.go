@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"biscatter/internal/netio"
+)
+
+func serviceRecorder(t *testing.T) *ExchangeRecorder {
+	t.Helper()
+	n, err := NewNetwork(Config{
+		Nodes: []NodeConfig{
+			{ID: 1, Range: 2.0, ModulationF0: 1000, ModulationF1: 1600},
+			{ID: 2, Range: 3.5, ModulationF0: 2200, ModulationF1: 2800},
+		},
+		Seed:         99,
+		ChirpsPerBit: 16,
+	}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewExchangeRecorder(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func servicePayload(round uint64) []byte { return RandomPayload(int64(round), 2) }
+
+// TestGatewayHandlerDigestsOutcomes pins that the handler's wire outcomes
+// are the same digest the replay layer captures: for a full-fleet round,
+// each tag's Outcome equals the recorded NodeOutcome field for field.
+func TestGatewayHandlerDigestsOutcomes(t *testing.T) {
+	rec := serviceRecorder(t)
+	fn, err := NewGatewayHandler(rec, servicePayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fn(0, map[uint8][]bool{
+		1: {true, false, true},
+		2: {false, true, false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(out))
+	}
+	record := rec.Record()
+	if len(record.Rounds) != 1 {
+		t.Fatalf("recorded %d rounds, want 1", len(record.Rounds))
+	}
+	if record.Rounds[0].Input.Active != nil {
+		t.Fatalf("full-fleet round recorded active set %v, want nil", record.Rounds[0].Input.Active)
+	}
+	for idx, tag := range []uint8{1, 2} {
+		ro := record.Rounds[0].Outcomes[idx]
+		want := netio.Outcome{
+			DownlinkPayload: ro.DownlinkPayload,
+			DownlinkErr:     ro.DownlinkErr,
+			DetectionRange:  ro.DetectionRange,
+			DetectionBin:    int32(ro.DetectionBin),
+			DetectionSNRdB:  ro.DetectionSNRdB,
+			DetectionErr:    ro.DetectionErr,
+			UplinkBits:      ro.UplinkBits,
+			UplinkErr:       ro.UplinkErr,
+		}
+		if !out[tag].Equal(want) {
+			t.Fatalf("tag %d outcome diverged from record:\n got %+v\nwant %+v", tag, out[tag], want)
+		}
+	}
+}
+
+// TestGatewayHandlerSubsetRestrictsRound pins that a partial submission runs
+// the round with WithActiveNodes over exactly the submitting subset, and
+// only submitters get outcomes.
+func TestGatewayHandlerSubsetRestrictsRound(t *testing.T) {
+	rec := serviceRecorder(t)
+	fn, err := NewGatewayHandler(rec, servicePayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fn(0, map[uint8][]bool{2: {true, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got outcomes for %d tags, want 1", len(out))
+	}
+	if _, ok := out[2]; !ok {
+		t.Fatal("submitting tag 2 got no outcome")
+	}
+	active := rec.Record().Rounds[0].Input.Active
+	if len(active) != 1 || active[0] != 1 {
+		t.Fatalf("recorded active set %v, want [1]", active)
+	}
+}
+
+// TestGatewayHandlerUnknownTag pins that a tag with no node mapping gets an
+// error outcome without poisoning the round for mapped tags.
+func TestGatewayHandlerUnknownTag(t *testing.T) {
+	rec := serviceRecorder(t)
+	fn, err := NewGatewayHandler(rec, servicePayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fn(0, map[uint8][]bool{
+		1:  {true, true},
+		77: {false, false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[77].Err == "" {
+		t.Fatal("unknown tag should carry an error outcome")
+	}
+	if out[1].Err != "" {
+		t.Fatalf("mapped tag poisoned by unknown peer: %q", out[1].Err)
+	}
+	// Only the mapped tag ran.
+	active := rec.Record().Rounds[0].Input.Active
+	if len(active) != 1 || active[0] != 0 {
+		t.Fatalf("recorded active set %v, want [0]", active)
+	}
+}
+
+// TestGatewayHandlerRejectsBadSetup pins constructor validation.
+func TestGatewayHandlerRejectsBadSetup(t *testing.T) {
+	if _, err := NewGatewayHandler(nil, servicePayload); err == nil {
+		t.Fatal("nil recorder accepted")
+	}
+	rec := serviceRecorder(t)
+	if _, err := NewGatewayHandler(rec, nil); err == nil {
+		t.Fatal("nil payload source accepted")
+	}
+}

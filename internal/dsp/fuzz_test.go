@@ -44,12 +44,12 @@ func finiteBounded(x []float64, bound float64) (float64, bool) {
 // reproduce the (padded) signal and the half-spectrum must agree with the
 // full complex FFT.
 func FuzzRealFFT(f *testing.F) {
-	f.Add([]byte{})                                          // zero length
-	f.Add(seedBytes([]float64{1}))                           // length 1
-	f.Add(seedBytes(make([]float64, 7)))                     // pow2 − 1
-	f.Add(seedBytes([]float64{1, -2, 3, -4, 5, -6, 7, -8}))  // exact pow2
-	f.Add(seedBytes(make([]float64, 9)))                     // pow2 + 1
-	f.Add(seedBytes([]float64{5e-324, -5e-324, 1e-310, 0}))  // denormals
+	f.Add([]byte{})                                           // zero length
+	f.Add(seedBytes([]float64{1}))                            // length 1
+	f.Add(seedBytes(make([]float64, 7)))                      // pow2 − 1
+	f.Add(seedBytes([]float64{1, -2, 3, -4, 5, -6, 7, -8}))   // exact pow2
+	f.Add(seedBytes(make([]float64, 9)))                      // pow2 + 1
+	f.Add(seedBytes([]float64{5e-324, -5e-324, 1e-310, 0}))   // denormals
 	f.Add(seedBytes([]float64{1e308, -1e308, 1e300, -1e300})) // saturated
 	f.Add(seedBytes([]float64{math.Inf(1), math.NaN(), math.Inf(-1)}))
 	odd := make([]float64, 33) // odd-ish length above one radix-2 stage

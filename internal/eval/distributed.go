@@ -1,0 +1,234 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"biscatter/internal/core"
+	"biscatter/internal/netio"
+	"biscatter/internal/telemetry"
+)
+
+// DistributedPoint is one loss-rate point of the distributed-gateway sweep:
+// a loopback radar↔N-tag fleet run under deterministic transport faults,
+// conformance-checked by replaying the captured record against the
+// in-process oracle.
+type DistributedPoint struct {
+	// Drop is the per-datagram drop probability on every endpoint.
+	Drop float64
+	// Tags is the fleet size.
+	Tags int
+	// Rounds is the number of rounds the gateway served.
+	Rounds int
+	// Completed counts client-side RoundOK results (out of Tags×Rounds).
+	Completed int
+	// GatewayRetries counts retransmitted submissions absorbed idempotently.
+	GatewayRetries int64
+	// ClientRetries counts client-side ARQ retransmissions.
+	ClientRetries int64
+	// Evicted counts sessions lost to the liveness deadline.
+	Evicted int64
+	// FaultsInjected totals dropped+duplicated+reordered+corrupted datagrams.
+	FaultsInjected int64
+	// ReplayOK reports whether the captured exchange record replayed
+	// byte-identically on the in-process pipeline.
+	ReplayOK bool
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+}
+
+// DistributedSweep runs one point: a gateway serving tags sessions over
+// loopback UDP, every endpoint impaired with the given drop probability
+// (plus light reordering and duplication so impairments compose).
+func DistributedSweep(tags, rounds int, drop float64, o Options) (DistributedPoint, error) {
+	tones := [][2]float64{{1000, 1400}, {1800, 2200}, {2600, 3000}, {3400, 3800}}
+	if tags < 1 || tags > len(tones) {
+		return DistributedPoint{}, fmt.Errorf("distributed: tags must be 1–%d, got %d", len(tones), tags)
+	}
+	cfg := core.Config{Seed: o.Seed, ChirpsPerBit: 16, Metrics: o.Metrics}
+	for i := 0; i < tags; i++ {
+		cfg.Nodes = append(cfg.Nodes, core.NodeConfig{
+			ID:           uint8(i + 1),
+			Range:        1.5 + 1.2*float64(i),
+			ModulationF0: tones[i][0],
+			ModulationF1: tones[i][1],
+		})
+	}
+	netw, err := core.NewNetwork(cfg, core.WithWorkers(1))
+	if err != nil {
+		return DistributedPoint{}, err
+	}
+	rec, err := core.NewExchangeRecorder(netw)
+	if err != nil {
+		return DistributedPoint{}, err
+	}
+	fn, err := core.NewGatewayHandler(rec, func(round uint64) []byte {
+		return core.RandomPayload(o.Seed+int64(round)*977, 4)
+	})
+	if err != nil {
+		return DistributedPoint{}, err
+	}
+
+	profile := func(seed int64) *netio.NetFaultProfile {
+		if drop == 0 {
+			return nil
+		}
+		return &netio.NetFaultProfile{Seed: seed, Drop: drop, Reorder: drop / 2, Duplicate: drop / 4}
+	}
+	m := telemetry.New()
+	gwOpts := []netio.Option{netio.WithMetrics(m)}
+	if p := profile(o.Seed + 7); p != nil {
+		gwOpts = append(gwOpts, netio.WithNetFaults(p))
+	}
+	gwConn, err := netio.Listen("127.0.0.1:0", gwOpts...)
+	if err != nil {
+		return DistributedPoint{}, err
+	}
+	defer gwConn.Close()
+	gw := netio.NewGateway(gwConn, netio.GatewayConfig{
+		MinSessions:    tags,
+		Rounds:         uint64(rounds),
+		RoundTimeout:   2 * time.Second,
+		SessionTimeout: 10 * time.Second,
+		Poll:           5 * time.Millisecond,
+		Metrics:        m,
+	}, fn)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gw.Run(ctx) }()
+
+	start := time.Now()
+	completed := make([]int, tags)
+	errs := make([]error, tags)
+	var wg sync.WaitGroup
+	for i := 0; i < tags; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := uint8(i + 1)
+			clOpts := []netio.Option{netio.WithMetrics(m)}
+			if p := profile(o.Seed + 100 + int64(i)); p != nil {
+				clOpts = append(clOpts, netio.WithNetFaults(p))
+			}
+			conn, err := netio.Listen("127.0.0.1:0", clOpts...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			c, err := netio.Dial(conn, gwConn.Addr().String(), netio.ClientConfig{
+				TagID:          id,
+				Seed:           o.Seed + int64(id),
+				AttemptTimeout: 300 * time.Millisecond,
+				MaxAttempts:    30,
+				DialAttempts:   30,
+				Metrics:        m,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("tag %d: %w", id, err)
+				return
+			}
+			defer c.Close()
+			for r := 0; r < rounds; r++ {
+				bits := []bool{r%2 == 0, i%2 == 0, true, false}
+				res, err := c.SubmitRound(ctx, bits)
+				if err != nil {
+					errs[i] = fmt.Errorf("tag %d round %d: %w", id, r, err)
+					return
+				}
+				if res.Status == netio.RoundOK {
+					completed[i]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return DistributedPoint{}, err
+		}
+	}
+	if err := <-gwDone; err != nil {
+		return DistributedPoint{}, fmt.Errorf("gateway: %w", err)
+	}
+
+	pt := DistributedPoint{
+		Drop:           drop,
+		Tags:           tags,
+		Rounds:         len(rec.Record().Rounds),
+		GatewayRetries: m.Counter("netio.retries").Value(),
+		ClientRetries:  m.Counter("netio.client.retries").Value(),
+		Evicted:        m.Counter("netio.evicted").Value(),
+		FaultsInjected: m.Counter("netio.fault.dropped").Value() +
+			m.Counter("netio.fault.duplicated").Value() +
+			m.Counter("netio.fault.reordered").Value() +
+			m.Counter("netio.fault.corrupted").Value(),
+		Elapsed: time.Since(start),
+	}
+	for _, c := range completed {
+		pt.Completed += c
+	}
+	report, err := core.ReplayRecord(rec.Record())
+	if err != nil {
+		return DistributedPoint{}, fmt.Errorf("replay: %w", err)
+	}
+	pt.ReplayOK = report.OK()
+	return pt, nil
+}
+
+// Distributed sweeps the distributed gateway service across transport loss
+// rates: the robustness claim is that a lossy control plane degrades only
+// liveness (retries, wall-clock), never correctness — every point's record
+// must replay byte-identically against the in-process oracle.
+func Distributed(o Options) (*Result, error) {
+	o = o.withDefaults()
+	const tags = 3
+	rounds := o.Trials
+	if rounds > 8 {
+		rounds = 8 // each round is a full exchange; keep the sweep interactive
+	}
+
+	tbl := Table{
+		Title: fmt.Sprintf("Distributed — loopback gateway, %d tags × %d rounds under transport loss", tags, rounds),
+		Columns: []string{"drop", "rounds", "completed", "gw retries",
+			"client retries", "evicted", "faults", "replay", "wall (s)"},
+	}
+	allOK := true
+	for _, drop := range []float64{0, 0.10, 0.20} {
+		pt, err := DistributedSweep(tags, rounds, drop, o)
+		if err != nil {
+			return nil, err
+		}
+		replay := "OK"
+		if !pt.ReplayOK {
+			replay, allOK = "DIVERGED", false
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.0f%%", pt.Drop*100),
+			fmt.Sprintf("%d", pt.Rounds),
+			fmt.Sprintf("%d/%d", pt.Completed, pt.Tags*pt.Rounds),
+			fmt.Sprintf("%d", pt.GatewayRetries),
+			fmt.Sprintf("%d", pt.ClientRetries),
+			fmt.Sprintf("%d", pt.Evicted),
+			fmt.Sprintf("%d", pt.FaultsInjected),
+			replay,
+			fmt.Sprintf("%.1f", pt.Elapsed.Seconds()),
+		)
+	}
+	res := &Result{
+		ID:          "distributed",
+		Description: "distributed gateway service under seeded transport faults (conformance vs in-process oracle)",
+		Tables:      []Table{tbl},
+	}
+	if allOK {
+		res.Notes = append(res.Notes,
+			"every loss point replayed byte-identically: transport faults cost retries and wall-clock, never correctness")
+	} else {
+		res.Notes = append(res.Notes, "REPLAY DIVERGED — the distributed pipeline is not conformant")
+	}
+	return res, nil
+}

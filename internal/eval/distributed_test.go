@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestDistributedSweepCleanPoint runs the zero-loss point: no faults means
+// no injected impairments, full completion, and a conformant replay.
+func TestDistributedSweepCleanPoint(t *testing.T) {
+	pt, err := DistributedSweep(2, 2, 0, Options{Seed: 5}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Rounds != 2 {
+		t.Fatalf("served %d rounds, want 2", pt.Rounds)
+	}
+	if pt.Completed != 4 {
+		t.Fatalf("completed %d of 4 round-results on a clean link", pt.Completed)
+	}
+	if pt.FaultsInjected != 0 {
+		t.Fatalf("clean point injected %d faults", pt.FaultsInjected)
+	}
+	if !pt.ReplayOK {
+		t.Fatal("clean point's record did not replay byte-identically")
+	}
+}
+
+// TestDistributedSweepLossyPoint runs the acceptance loss duty (10%): the
+// run must still complete and replay clean, with faults observably injected.
+func TestDistributedSweepLossyPoint(t *testing.T) {
+	pt, err := DistributedSweep(2, 3, 0.10, Options{Seed: 5}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Rounds != 3 {
+		t.Fatalf("served %d rounds, want 3", pt.Rounds)
+	}
+	if pt.FaultsInjected == 0 {
+		t.Fatal("lossy point injected no faults")
+	}
+	if !pt.ReplayOK {
+		t.Fatal("lossy point's record did not replay byte-identically")
+	}
+}

@@ -76,6 +76,7 @@ var Registry = []struct {
 	{"scenarios", Scenarios},
 	{"recovery", Recovery},
 	{"fleet", Fleet},
+	{"distributed", Distributed},
 }
 
 // Lookup finds an experiment by ID.

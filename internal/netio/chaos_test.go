@@ -1,0 +1,428 @@
+package netio_test
+
+// Chaos conformance: the ISSUE's acceptance centerpiece. A loopback
+// radar↔N-tag run under seeded drop/duplicate/reorder/corrupt faults must
+// produce exchange outcomes byte-identical to the in-process oracle — pinned
+// by replaying the captured trace.ExchangeRecord — and a tag killed mid-run
+// must be quarantined and evicted while the rest of the fleet completes,
+// with the restarted tag resuming at the gateway's current round.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"biscatter/internal/core"
+	"biscatter/internal/netio"
+	"biscatter/internal/telemetry"
+	"biscatter/internal/trace"
+)
+
+// chaosConfig builds an n-node network (n ≤ 4) whose uplink tones all sit
+// below the 4-node slow-time band limit, sized for speed (ChirpsPerBit 16,
+// one worker — the 1-core CI host runs the whole suite under -race).
+func chaosConfig(n int) core.Config {
+	tones := [][2]float64{{1000, 1400}, {1800, 2200}, {2600, 3000}, {3400, 3800}}
+	ranges := []float64{1.5, 3.0, 4.2, 5.1}
+	nodes := make([]core.NodeConfig, n)
+	for i := range nodes {
+		nodes[i] = core.NodeConfig{
+			ID:           uint8(i + 1),
+			Range:        ranges[i],
+			ModulationF0: tones[i][0],
+			ModulationF1: tones[i][1],
+		}
+	}
+	return core.Config{Nodes: nodes, Seed: 424, ChirpsPerBit: 16}
+}
+
+// tagBits is the deterministic per-(tag, round) uplink pattern every test
+// and the replay both derive from.
+func tagBits(tag uint8, round uint64) []bool {
+	bits := make([]bool, 4)
+	for k := range bits {
+		bits[k] = (uint64(tag)*31+round*7+uint64(k)*13)%3 == 0
+	}
+	return bits
+}
+
+// wireOutcome converts a recorded trace.NodeOutcome into its wire digest so
+// client-observed outcomes can be compared byte-for-byte with the record.
+func wireOutcome(o trace.NodeOutcome) netio.Outcome {
+	return netio.Outcome{
+		DownlinkPayload: append([]byte(nil), o.DownlinkPayload...),
+		DownlinkErr:     o.DownlinkErr,
+		DetectionRange:  o.DetectionRange,
+		DetectionBin:    int32(o.DetectionBin),
+		DetectionSNRdB:  o.DetectionSNRdB,
+		DetectionErr:    o.DetectionErr,
+		UplinkBits:      append([]bool(nil), o.UplinkBits...),
+		UplinkErr:       o.UplinkErr,
+	}
+}
+
+// chaosProfile is the acceptance fault duty: ≤ 0.1 drop plus reordering,
+// duplication and corruption, seeded per endpoint so the run replays.
+func chaosProfile(seed int64) *netio.NetFaultProfile {
+	return &netio.NetFaultProfile{
+		Seed:      seed,
+		Drop:      0.10,
+		Reorder:   0.05,
+		Duplicate: 0.03,
+		Corrupt:   0.02,
+	}
+}
+
+func chaosDial(t *testing.T, m *telemetry.Metrics, gwAddr string, tag uint8, faultSeed int64) (*netio.Client, *netio.Node) {
+	t.Helper()
+	conn, err := netio.Listen("127.0.0.1:0",
+		netio.WithMetrics(m), netio.WithNetFaults(chaosProfile(faultSeed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := netio.Dial(conn, gwAddr, netio.ClientConfig{
+		TagID:          tag,
+		Seed:           int64(tag),
+		AttemptTimeout: 300 * time.Millisecond,
+		MaxAttempts:    30,
+		DialAttempts:   30,
+		Metrics:        m,
+	})
+	if err != nil {
+		conn.Close()
+		t.Fatalf("dial tag %d: %v", tag, err)
+	}
+	return c, conn
+}
+
+// replayBothWays pins the record against the oracle at the recorded worker
+// count and again at 4 workers (stats must be worker-invariant), after a
+// save/load round trip through the trace file format.
+func replayBothWays(t *testing.T, dir string, rec *trace.ExchangeRecord) {
+	t.Helper()
+	path := filepath.Join(dir, "chaos.bsctrace")
+	if err := trace.SaveExchange(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.LoadExchange(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		var opts []core.Option
+		if workers > 0 {
+			opts = append(opts, core.WithWorkers(workers))
+		}
+		rep, err := core.ReplayRecord(loaded, opts...)
+		if err != nil {
+			t.Fatalf("replay (workers=%d): %v", workers, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("replay (workers=%d) diverged: %v", workers, rep.Mismatches)
+		}
+	}
+}
+
+// TestChaosConformance runs a loopback gateway against 4 tags with faults
+// injected on every endpoint and requires the distributed run to be
+// byte-identical to the in-process oracle.
+func TestChaosConformance(t *testing.T) {
+	const rounds = 5
+	cfg := chaosConfig(4)
+	net, err := core.NewNetwork(cfg, core.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.NewExchangeRecorder(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(round uint64) []byte { return core.RandomPayload(int64(round)+99, 2) }
+	fn, err := core.NewGatewayHandler(rec, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := telemetry.New()
+	fl := telemetry.NewFlightRecorder(32)
+	gwConn, err := netio.Listen("127.0.0.1:0",
+		netio.WithMetrics(m), netio.WithNetFaults(chaosProfile(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwConn.Close()
+
+	gw := netio.NewGateway(gwConn, netio.GatewayConfig{
+		MinSessions:       4,
+		Rounds:            rounds,
+		HeartbeatInterval: 100 * time.Millisecond,
+		SessionTimeout:    10 * time.Second,
+		RoundTimeout:      2 * time.Second,
+		Poll:              5 * time.Millisecond,
+		Metrics:           m,
+		Flight:            fl,
+	}, fn)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gw.Run(ctx) }()
+
+	results := make([][]*netio.RoundResult, 4)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tag := uint8(i + 1)
+			c, conn := chaosDial(t, m, gwConn.Addr().String(), tag, 100+int64(i))
+			defer conn.Close()
+			defer c.Close()
+			for r := uint64(0); r < rounds; r++ {
+				res, err := c.SubmitRound(ctx, tagBits(tag, r))
+				if err != nil {
+					errs[i] = fmt.Errorf("tag %d round %d: %w", tag, r, err)
+					return
+				}
+				results[i] = append(results[i], res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	select {
+	case err := <-gwDone:
+		if err != nil {
+			t.Fatalf("gateway: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gateway did not finish after all tags closed")
+	}
+
+	record := rec.Record()
+	if len(record.Rounds) != rounds {
+		t.Fatalf("recorded %d rounds, want %d", len(record.Rounds), rounds)
+	}
+	// Every client outcome must match the record byte-for-byte: the
+	// distributed run and the in-process oracle computed the same physics.
+	for i, rs := range results {
+		if len(rs) != rounds {
+			t.Fatalf("tag %d completed %d rounds, want %d", i+1, len(rs), rounds)
+		}
+		for _, res := range rs {
+			if res.Status != netio.RoundOK {
+				t.Fatalf("tag %d round %d status %s, want ok", i+1, res.Round, res.Status)
+			}
+			rr := record.Rounds[res.Round]
+			if rr.Input.Active != nil {
+				t.Fatalf("round %d ran with a partial fleet %v", res.Round, rr.Input.Active)
+			}
+			want := wireOutcome(rr.Outcomes[i])
+			if !res.Outcome.Equal(want) {
+				t.Fatalf("tag %d round %d outcome diverged from record:\n got %+v\nwant %+v",
+					i+1, res.Round, res.Outcome, want)
+			}
+		}
+	}
+	replayBothWays(t, t.TempDir(), record)
+
+	if got := m.Counter("netio.rounds").Value(); got != rounds {
+		t.Fatalf("netio.rounds = %d, want %d", got, rounds)
+	}
+	if m.Counter("netio.fault.dropped").Value() == 0 {
+		t.Fatal("fault injector dropped nothing — the chaos run was not chaotic")
+	}
+	if got := m.Counter("netio.sessions.accepted").Value(); got != 4 {
+		t.Fatalf("netio.sessions.accepted = %d, want 4", got)
+	}
+}
+
+// TestChaosKillRestartResume kills one tag mid-run: the gateway must open
+// its breaker (the fleet keeps exchanging without it), evict the silent
+// session, and hand the restarted tag a session that resumes at the current
+// round — with every transition observable in telemetry and the flight
+// recorder, and the full record still replaying clean.
+func TestChaosKillRestartResume(t *testing.T) {
+	const rounds = 5
+	cfg := chaosConfig(3)
+	net, err := core.NewNetwork(cfg, core.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.NewExchangeRecorder(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := core.NewGatewayHandler(rec, func(round uint64) []byte {
+		return core.RandomPayload(int64(round)+7, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := telemetry.New()
+	fl := telemetry.NewFlightRecorder(32)
+	gwConn, err := netio.Listen("127.0.0.1:0", netio.WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwConn.Close()
+
+	gw := netio.NewGateway(gwConn, netio.GatewayConfig{
+		MinSessions:       3,
+		Rounds:            rounds,
+		HeartbeatInterval: 100 * time.Millisecond,
+		SessionTimeout:    1500 * time.Millisecond,
+		RoundTimeout:      500 * time.Millisecond,
+		BreakerThreshold:  1,
+		Poll:              5 * time.Millisecond,
+		Linger:            20 * time.Second,
+		Metrics:           m,
+		Flight:            fl,
+	}, fn)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gw.Run(ctx) }()
+
+	addr := gwConn.Addr().String()
+	c1, conn1 := chaosDial(t, m, addr, 1, 201)
+	defer conn1.Close()
+	c2, conn2 := chaosDial(t, m, addr, 2, 202)
+	defer conn2.Close()
+	c3, conn3 := chaosDial(t, m, addr, 3, 203)
+
+	// submitAll drives one round concurrently across the live clients — the
+	// gateway's barrier needs the submissions in flight together.
+	submitAll := func(round uint64, clients map[uint8]*netio.Client) map[uint8]*netio.RoundResult {
+		t.Helper()
+		var mu sync.Mutex
+		out := make(map[uint8]*netio.RoundResult, len(clients))
+		var wg sync.WaitGroup
+		for tag, c := range clients {
+			wg.Add(1)
+			go func(tag uint8, c *netio.Client) {
+				defer wg.Done()
+				res, err := c.SubmitRound(ctx, tagBits(tag, round))
+				if err != nil {
+					t.Errorf("tag %d round %d: %v", tag, round, err)
+					return
+				}
+				mu.Lock()
+				out[tag] = res
+				mu.Unlock()
+			}(tag, c)
+		}
+		wg.Wait()
+		return out
+	}
+	requireOK := func(res map[uint8]*netio.RoundResult, round uint64, tags ...uint8) {
+		t.Helper()
+		for _, tag := range tags {
+			r := res[tag]
+			if r == nil || r.Status != netio.RoundOK {
+				t.Fatalf("tag %d round %d: %+v, want ok", tag, round, r)
+			}
+		}
+	}
+
+	// Round 0: the full fleet.
+	requireOK(submitAll(0, map[uint8]*netio.Client{1: c1, 2: c2, 3: c3}), 0, 1, 2, 3)
+
+	// Kill tag 3 without a Goodbye: the socket just goes dark.
+	conn3.Close()
+	_ = c3
+
+	// Rounds 1-2 run with the survivors. Round 1 waits out the round
+	// timeout for tag 3 and strikes it (breaker opens); round 2 must run
+	// promptly — the barrier no longer waits for a quarantined session.
+	live := map[uint8]*netio.Client{1: c1, 2: c2}
+	requireOK(submitAll(1, live), 1, 1, 2)
+	requireOK(submitAll(2, live), 2, 1, 2)
+	if got := m.Counter("netio.breaker.open").Value(); got != 1 {
+		t.Fatalf("netio.breaker.open = %d, want 1", got)
+	}
+
+	// Wait for the liveness deadline to evict tag 3's session, keeping the
+	// survivors' sessions warm with idle heartbeats meanwhile.
+	evictDeadline := time.Now().Add(15 * time.Second)
+	for m.Counter("netio.evicted").Value() == 0 {
+		if time.Now().After(evictDeadline) {
+			t.Fatal("silent session was never evicted")
+		}
+		for _, c := range []*netio.Client{c1, c2} {
+			if err := c.Wait(ctx, 50*time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if fl.Trips() < 2 {
+		t.Fatalf("flight recorder saw %d trips, want ≥ 2 (breaker open + eviction)", fl.Trips())
+	}
+
+	// Restart tag 3: a fresh socket, the same identity. The handshake must
+	// resume at the gateway's current round.
+	c3b, conn3b := chaosDial(t, m, addr, 3, 204)
+	defer conn3b.Close()
+	defer c3b.Close()
+	if got := c3b.Round(); got != 3 {
+		t.Fatalf("restarted tag resumed at round %d, want 3", got)
+	}
+
+	// Rounds 3-4: the full fleet again.
+	all := map[uint8]*netio.Client{1: c1, 2: c2, 3: c3b}
+	requireOK(submitAll(3, all), 3, 1, 2, 3)
+	requireOK(submitAll(4, all), 4, 1, 2, 3)
+
+	c1.Close()
+	conn1.Close()
+	c2.Close()
+	conn2.Close()
+	c3b.Close()
+	conn3b.Close()
+
+	select {
+	case err := <-gwDone:
+		if err != nil {
+			t.Fatalf("gateway: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gateway did not finish")
+	}
+
+	record := rec.Record()
+	if len(record.Rounds) != rounds {
+		t.Fatalf("recorded %d rounds, want %d", len(record.Rounds), rounds)
+	}
+	// Rounds 1-2 must have run as a strict subset (nodes 0 and 1); the
+	// bracketing rounds with the full fleet.
+	for _, r := range []int{1, 2} {
+		active := record.Rounds[r].Input.Active
+		if len(active) != 2 || active[0] != 0 || active[1] != 1 {
+			t.Fatalf("round %d active set %v, want [0 1]", r, active)
+		}
+	}
+	for _, r := range []int{0, 3, 4} {
+		if record.Rounds[r].Input.Active != nil {
+			t.Fatalf("round %d active set %v, want full fleet", r, record.Rounds[r].Input.Active)
+		}
+	}
+	replayBothWays(t, t.TempDir(), record)
+
+	if got := m.Counter("netio.evicted").Value(); got != 1 {
+		t.Fatalf("netio.evicted = %d, want 1", got)
+	}
+	if got := m.Counter("netio.sessions.accepted").Value(); got != 4 {
+		t.Fatalf("netio.sessions.accepted = %d, want 4 (3 initial + 1 restart)", got)
+	}
+}

@@ -1,0 +1,404 @@
+package netio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"biscatter/internal/telemetry"
+)
+
+// Client defaults.
+const (
+	DefaultDialAttempts   = 10
+	DefaultAttemptTimeout = 250 * time.Millisecond
+	DefaultMaxAttempts    = 10
+	DefaultBackoffFactor  = 1.5
+	DefaultJitterFraction = 0.25
+)
+
+// ClientConfig parameterizes a tag-side session client.
+type ClientConfig struct {
+	// TagID identifies this tag to the gateway.
+	TagID uint8
+	// Version is the protocol version to speak (default ProtocolVersion).
+	Version uint16
+	// Seed keys the deterministic backoff jitter (the ARQ discipline:
+	// splitmix64 over (seed, tag, attempt), so retry schedules replay
+	// exactly per seed).
+	Seed int64
+	// DialAttempts bounds handshake retries.
+	DialAttempts int
+	// AttemptTimeout bounds one send-and-wait attempt before backing off
+	// and retransmitting.
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds retransmissions per submitted round.
+	MaxAttempts int
+	// BackoffFactor grows the inter-attempt backoff geometrically.
+	BackoffFactor float64
+	// JitterFraction spreads each backoff over [1-j, 1+j) deterministically.
+	JitterFraction float64
+	// HeartbeatInterval overrides the gateway-advertised interval when > 0.
+	HeartbeatInterval time.Duration
+	// Metrics receives netio.client.* counters (nil = disabled).
+	Metrics *telemetry.Metrics
+	// Logf, when set, receives session-event logs.
+	Logf func(format string, args ...any)
+}
+
+func (c *ClientConfig) applyDefaults() {
+	if c.Version == 0 {
+		c.Version = ProtocolVersion
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = DefaultDialAttempts
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.BackoffFactor <= 1 {
+		c.BackoffFactor = DefaultBackoffFactor
+	}
+	if c.JitterFraction < 0 {
+		c.JitterFraction = DefaultJitterFraction
+	}
+}
+
+// ErrRejected means the gateway refused the handshake (e.g. protocol
+// version mismatch); retrying will not help.
+var ErrRejected = errors.New("netio: handshake rejected")
+
+// Client is the tag side of a gateway session: it dials with retry, submits
+// uplink bits round by round with the ARQ retransmission discipline
+// (geometric backoff under deterministic splitmix64 jitter, context
+// deadline propagation), heartbeats inside its receive waits, and — when
+// the gateway evicts it — re-handshakes and resumes at the gateway's next
+// round instead of crashing the tag. Single-threaded: one goroutine owns
+// the Client and its Conn.
+type Client struct {
+	conn Conn
+	cfg  ClientConfig
+	gw   *net.UDPAddr
+
+	sid     uint64
+	seq     uint64
+	round   uint64
+	hb      time.Duration
+	hbSeq   uint64
+	lastHB  time.Time
+	pingAt  map[uint64]time.Time
+	lastRTT time.Duration
+
+	cRetries, cReconnects, cEvicted *telemetry.Counter
+	hRTT                            *telemetry.Histogram
+}
+
+// Dial opens a session with the gateway at addr over conn (which the
+// caller owns and keeps). It retries the handshake DialAttempts times with
+// jittered backoff before giving up.
+func Dial(conn Conn, addr string, cfg ClientConfig) (*Client, error) {
+	cfg.applyDefaults()
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: resolve gateway %q: %w", addr, err)
+	}
+	c := &Client{conn: conn, cfg: cfg, gw: ua, pingAt: make(map[uint64]time.Time)}
+	if m := cfg.Metrics; m != nil {
+		c.cRetries = m.Counter("netio.client.retries")
+		c.cReconnects = m.Counter("netio.client.reconnects")
+		c.cEvicted = m.Counter("netio.client.evicted")
+		c.hRTT = m.Histogram("netio.client.heartbeat.rtt_seconds")
+	}
+	if err := c.handshake(context.Background()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// SessionID returns the current session identity.
+func (c *Client) SessionID() uint64 { return c.sid }
+
+// Round returns the next round the client will submit.
+func (c *Client) Round() uint64 { return c.round }
+
+// handshake performs the hello exchange, adopting the gateway's session
+// parameters on success. A nonzero c.sid asks the gateway to resume.
+func (c *Client) handshake(ctx context.Context) error {
+	for attempt := 0; attempt < c.cfg.DialAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.seq++
+		hello := &Hello{Version: c.cfg.Version, TagID: c.cfg.TagID, SessionID: c.sid, Seq: c.seq}
+		if err := c.conn.Send(c.gw, hello); err != nil {
+			return err
+		}
+		deadline := time.Now().Add(c.cfg.AttemptTimeout)
+		for {
+			wait := time.Until(deadline)
+			if wait <= 0 {
+				break
+			}
+			m, _, err := c.conn.Recv(wait)
+			if err != nil {
+				if errors.Is(err, ErrTimeout) {
+					break
+				}
+				if errors.Is(err, ErrClosed) {
+					return err
+				}
+				continue // malformed datagram: keep waiting
+			}
+			ack, ok := m.(*HelloAck)
+			if !ok {
+				continue // stale traffic from a previous session
+			}
+			if !ack.Code.Accepted() {
+				return fmt.Errorf("%w: %v (%s)", ErrRejected, ack.Code, ack.Reason)
+			}
+			c.sid = ack.SessionID
+			if ack.NextRound > c.round {
+				c.round = ack.NextRound
+			}
+			c.hb = c.cfg.HeartbeatInterval
+			if c.hb <= 0 {
+				c.hb = time.Duration(ack.HeartbeatMillis) * time.Millisecond
+			}
+			if c.hb <= 0 {
+				c.hb = DefaultHeartbeatInterval
+			}
+			c.lastHB = time.Now()
+			c.logf("client %d: session %d %v (next round %d)", c.cfg.TagID, c.sid, ack.Code, c.round)
+			return nil
+		}
+		c.sleep(ctx, c.backoff(attempt))
+	}
+	return fmt.Errorf("netio: gateway %v unreachable after %d attempts", c.gw, c.cfg.DialAttempts)
+}
+
+// backoff computes the ARQ-style jittered geometric backoff for attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	nominal := float64(c.cfg.AttemptTimeout) / 4
+	for i := 0; i < attempt; i++ {
+		nominal *= c.cfg.BackoffFactor
+	}
+	j := c.cfg.JitterFraction
+	if j == 0 {
+		return time.Duration(nominal)
+	}
+	h := netHashBits(c.cfg.Seed, uint64(c.cfg.TagID)<<10, uint64(attempt))
+	frac := float64(h>>11) / (1 << 53)
+	return time.Duration(nominal * (1 - j + 2*j*frac))
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// maybeHeartbeat sends a liveness ping when the interval has elapsed,
+// piggybacking the last measured RTT for the gateway's histogram.
+func (c *Client) maybeHeartbeat(now time.Time) {
+	if now.Sub(c.lastHB) < c.hb {
+		return
+	}
+	c.lastHB = now
+	c.hbSeq++
+	c.pingAt[c.hbSeq] = now
+	// Bound the in-flight ping table: drop ancient unanswered pings.
+	for seq := range c.pingAt {
+		if seq+16 < c.hbSeq {
+			delete(c.pingAt, seq)
+		}
+	}
+	hb := &Heartbeat{SessionID: c.sid, Seq: c.hbSeq, RTTNanos: uint64(c.lastRTT)}
+	if err := c.conn.Send(c.gw, hb); err != nil {
+		c.logf("client %d: heartbeat send: %v", c.cfg.TagID, err)
+	}
+}
+
+// SubmitRound submits this tag's uplink bits for the client's current
+// round and waits for the gateway's result, retransmitting with jittered
+// geometric backoff and heartbeating while it waits. ctx bounds the whole
+// call. An eviction triggers a transparent re-handshake; if the fleet moved
+// on past this round while the client was gone, SubmitRound returns a
+// RoundSkipped result instead of an error so callers can advance.
+func (c *Client) SubmitRound(ctx context.Context, bits []bool) (*RoundResult, error) {
+	round := c.round
+	sub := &SubmitRound{}
+	sub.SetBits(bits)
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.cRetries.Inc()
+		}
+		if round < c.round {
+			// A reconnect during a previous attempt moved the session past
+			// this round: the fleet exchanged without us.
+			return &RoundResult{SessionID: c.sid, Round: round, Status: RoundSkipped}, nil
+		}
+		c.seq++
+		sub.SessionID, sub.Seq, sub.Round = c.sid, c.seq, round
+		if err := c.conn.Send(c.gw, sub); err != nil {
+			return nil, err
+		}
+		rr, err := c.await(ctx, round)
+		if err != nil {
+			return nil, err
+		}
+		if rr != nil {
+			c.round = round + 1
+			return rr, nil
+		}
+		c.sleep(ctx, c.backoff(attempt))
+	}
+	return nil, fmt.Errorf("netio: round %d unanswered after %d attempts", round, c.cfg.MaxAttempts)
+}
+
+// await waits one AttemptTimeout for the result of round, servicing
+// heartbeats, echoes and evictions meanwhile. A nil, nil return means the
+// attempt timed out and the caller should retransmit.
+func (c *Client) await(ctx context.Context, round uint64) (*RoundResult, error) {
+	deadline := time.Now().Add(c.cfg.AttemptTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		now := time.Now()
+		c.maybeHeartbeat(now)
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, nil
+		}
+		if hbDue := c.hb - now.Sub(c.lastHB); hbDue > 0 && hbDue < wait {
+			wait = hbDue
+		}
+		m, _, err := c.conn.Recv(wait)
+		if err != nil {
+			if errors.Is(err, ErrTimeout) {
+				continue
+			}
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			continue // malformed datagram (e.g. fault-corrupted): retransmission covers it
+		}
+		switch msg := m.(type) {
+		case *RoundResult:
+			if msg.SessionID == c.sid && msg.Round == round {
+				return msg, nil
+			}
+			// A stale round's (duplicated) result: ignore.
+		case *Heartbeat:
+			c.handleEcho(now, msg)
+		case *Evict:
+			if msg.SessionID != c.sid {
+				continue
+			}
+			c.cEvicted.Inc()
+			c.logf("client %d: evicted (%s), re-handshaking", c.cfg.TagID, msg.Reason)
+			if err := c.reconnect(ctx); err != nil {
+				return nil, err
+			}
+			// Resend promptly under the new session; the round-skew check
+			// at the top of the attempt loop handles a moved-on fleet.
+			return nil, nil
+		case *HelloAck:
+			// Duplicate of the handshake ack: ignore.
+		default:
+			c.logf("client %d: unexpected %v", c.cfg.TagID, m.Type())
+		}
+	}
+}
+
+// handleEcho closes the RTT loop for a heartbeat echo.
+func (c *Client) handleEcho(now time.Time, msg *Heartbeat) {
+	if !msg.Echo || msg.SessionID != c.sid {
+		return
+	}
+	if at, ok := c.pingAt[msg.Seq]; ok {
+		c.lastRTT = now.Sub(at)
+		c.hRTT.Observe(c.lastRTT.Seconds())
+		delete(c.pingAt, msg.Seq)
+	}
+}
+
+// Wait keeps the session alive while the tag has nothing to submit: it
+// heartbeats at the session interval until d elapses (or ctx is done),
+// servicing echoes and evictions meanwhile. A tag process idling between
+// rounds calls this instead of sleeping so the gateway's liveness deadline
+// never passes.
+func (c *Client) Wait(ctx context.Context, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return nil
+		}
+		c.maybeHeartbeat(now)
+		wait := time.Until(deadline)
+		if hbDue := c.hb - now.Sub(c.lastHB); hbDue > 0 && hbDue < wait {
+			wait = hbDue
+		}
+		m, _, err := c.conn.Recv(wait)
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return err
+			}
+			continue
+		}
+		switch msg := m.(type) {
+		case *Heartbeat:
+			c.handleEcho(now, msg)
+		case *Evict:
+			if msg.SessionID != c.sid {
+				continue
+			}
+			c.cEvicted.Inc()
+			c.logf("client %d: evicted while idle (%s), re-handshaking", c.cfg.TagID, msg.Reason)
+			if err := c.reconnect(ctx); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// reconnect re-handshakes after an eviction, resuming at the gateway's
+// current round.
+func (c *Client) reconnect(ctx context.Context) error {
+	c.cReconnects.Inc()
+	c.sid = 0 // the old session is gone; ask for a fresh one
+	return c.handshake(ctx)
+}
+
+// Close says Goodbye. The caller still owns (and closes) the Conn.
+func (c *Client) Close() error {
+	c.seq++
+	return c.conn.Send(c.gw, &Goodbye{SessionID: c.sid, Seq: c.seq})
+}

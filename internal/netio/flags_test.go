@@ -1,0 +1,50 @@
+package netio
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestServiceFlagParity pins that both binaries' FlagSets (each built
+// through RegisterServiceFlags, as biscatter-radar and biscatter-tag do)
+// expose identical shared flags: same names, defaults and usage.
+func TestServiceFlagParity(t *testing.T) {
+	radar := flag.NewFlagSet("biscatter-radar", flag.ContinueOnError)
+	tag := flag.NewFlagSet("biscatter-tag", flag.ContinueOnError)
+	RegisterServiceFlags(radar)
+	RegisterServiceFlags(tag)
+	RegisterNetFaultFlags(radar)
+	RegisterNetFaultFlags(tag)
+
+	for _, name := range []string{
+		"listen", "connect", "heartbeat", "session-timeout",
+		"net-seed", "net-drop", "net-duplicate", "net-reorder",
+		"net-corrupt", "net-delay", "net-max-delay",
+	} {
+		rf, tf := radar.Lookup(name), tag.Lookup(name)
+		if rf == nil || tf == nil {
+			t.Fatalf("flag -%s missing (radar=%v tag=%v)", name, rf != nil, tf != nil)
+		}
+		if rf.DefValue != tf.DefValue {
+			t.Errorf("-%s default differs: radar %q, tag %q", name, rf.DefValue, tf.DefValue)
+		}
+		if rf.Usage != tf.Usage {
+			t.Errorf("-%s usage differs: radar %q, tag %q", name, rf.Usage, tf.Usage)
+		}
+	}
+}
+
+// TestServiceFlagParsing checks values land in the struct.
+func TestServiceFlagParsing(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	sf := RegisterServiceFlags(fs)
+	if err := fs.Parse([]string{"-listen", "127.0.0.1:9100", "-heartbeat", "150ms", "-session-timeout", "3s"}); err != nil {
+		t.Fatal(err)
+	}
+	if sf.Listen != "127.0.0.1:9100" || sf.Heartbeat.String() != "150ms" || sf.SessionTimeout.String() != "3s" {
+		t.Fatalf("parsed %+v", sf)
+	}
+	if sf.Connect != "" {
+		t.Fatalf("connect default should be empty, got %q", sf.Connect)
+	}
+}

@@ -16,6 +16,17 @@ func FuzzUnmarshal(f *testing.F) {
 		&ModulationPlan{Sequence: 3, TagID: 2, F0: 1250, F1: 1770,
 			ChirpsPerBit: 32, BitCount: 5, Bits: []byte{0b10110000}},
 		&Command{TagID: 1, Op: OpSetModulation, Arg0: 2500, Arg1: 3020},
+		// Session plane.
+		&Hello{Version: ProtocolVersion, TagID: 4, SessionID: 9, Seq: 2},
+		&HelloAck{Code: HelloAccept, SessionID: 9, NextRound: 1,
+			HeartbeatMillis: 200, SessionTimeoutMillis: 2000, Reason: "r"},
+		&Heartbeat{SessionID: 9, Seq: 3, Echo: true, RTTNanos: 99},
+		&SubmitRound{SessionID: 9, Seq: 4, Round: 1, BitCount: 3, Bits: []byte{0b10100000}},
+		&RoundResult{SessionID: 9, Round: 1, Status: RoundOK, Outcome: Outcome{
+			DownlinkPayload: []byte{7}, DetectionRange: 4.9, DetectionBin: 3,
+			DetectionSNRdB: 31, UplinkBits: []bool{true, false}, UplinkErr: "e"}},
+		&Goodbye{SessionID: 9, Seq: 5},
+		&Evict{SessionID: 9, Reason: "gone"},
 	}
 	for _, m := range seeds {
 		buf, err := Marshal(m)

@@ -1,0 +1,632 @@
+package netio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"biscatter/internal/telemetry"
+)
+
+// ExchangeFunc runs one exchange round for the submitted tags and returns a
+// per-tag outcome digest. The gateway owns round sequencing and session
+// supervision; the function owns the physics (in production it drives
+// core.Network.Exchange through an ExchangeRecorder — see
+// core.NewGatewayHandler). Called from the gateway's single supervision
+// goroutine, never concurrently.
+type ExchangeFunc func(round uint64, uplinkBits map[uint8][]bool) (map[uint8]Outcome, error)
+
+// Gateway defaults.
+const (
+	DefaultHeartbeatInterval = 200 * time.Millisecond
+	DefaultSessionTimeout    = 2 * time.Second
+	DefaultRoundTimeout      = time.Second
+	DefaultQueueDepth        = 16
+	DefaultBreakerThreshold  = 2
+	DefaultResultCache       = 8
+	DefaultPoll              = 20 * time.Millisecond
+)
+
+// GatewayConfig parameterizes a Gateway. The zero value is usable: every
+// field has a default.
+type GatewayConfig struct {
+	// Version is the protocol version to require (default ProtocolVersion).
+	Version uint16
+	// MinSessions gates round 0: the first round does not run until this
+	// many tags hold sessions, so a fleet can assemble before the exchange
+	// starts. Later rounds run with whoever is live.
+	MinSessions int
+	// Rounds bounds the run (0 = unbounded): after serving Rounds rounds
+	// the gateway lingers until every session says Goodbye (or Linger
+	// expires) and Run returns nil.
+	Rounds uint64
+	// HeartbeatInterval is advertised to clients in the HelloAck.
+	HeartbeatInterval time.Duration
+	// SessionTimeout evicts a session with no traffic for this long.
+	SessionTimeout time.Duration
+	// RoundTimeout runs a partially-submitted round this long after its
+	// first submission instead of waiting for stragglers forever.
+	RoundTimeout time.Duration
+	// QueueDepth bounds each session's send queue.
+	QueueDepth int
+	// SendTimeout is the reject-or-wait backpressure knob (mirroring
+	// core.Fleet): 0 rejects immediately when a session's queue is full;
+	// > 0 waits up to the timeout before rejecting.
+	SendTimeout time.Duration
+	// BreakerThreshold opens a session's circuit breaker after this many
+	// consecutive missed rounds (default 2). An open session is quarantined:
+	// the round barrier stops waiting for it, and its next submission is the
+	// half-open probe that closes the breaker again.
+	BreakerThreshold int
+	// ResultCache bounds the per-session cache of recent round results used
+	// to answer retransmitted submissions idempotently.
+	ResultCache int
+	// Poll is the receive-poll granularity of the supervision loop.
+	Poll time.Duration
+	// Linger bounds the post-Rounds wait for Goodbyes (default
+	// SessionTimeout).
+	Linger time.Duration
+	// Metrics receives netio.* counters/gauges/histograms (nil = disabled).
+	Metrics *telemetry.Metrics
+	// Flight receives a Trip on session eviction, breaker opening and
+	// exchange errors (nil = disabled).
+	Flight *telemetry.FlightRecorder
+	// Logf, when set, receives supervision-event logs.
+	Logf func(format string, args ...any)
+}
+
+func (c *GatewayConfig) applyDefaults() {
+	if c.Version == 0 {
+		c.Version = ProtocolVersion
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = DefaultSessionTimeout
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = DefaultRoundTimeout
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.ResultCache <= 0 {
+		c.ResultCache = DefaultResultCache
+	}
+	if c.Poll <= 0 {
+		c.Poll = DefaultPoll
+	}
+	if c.Linger <= 0 {
+		c.Linger = c.SessionTimeout
+	}
+}
+
+// breakerState mirrors the LinkController circuit-breaker idiom at session
+// granularity.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breakerState(%d)", uint8(s))
+	}
+}
+
+// session is one tag's supervised connection. All fields except addr and
+// the send queue are owned by the supervision goroutine.
+type session struct {
+	id    uint64
+	tagID uint8
+	addr  atomic.Pointer[net.UDPAddr]
+
+	// out is the bounded send queue drained by this session's sender
+	// goroutine; closed (only) by the supervision loop to stop it.
+	out  chan Message
+	wg   sync.WaitGroup
+	seen time.Time
+
+	lastSeq uint64
+
+	breaker breakerState
+	misses  int
+
+	// pending round submission.
+	hasPending  bool
+	pendingBits []bool
+
+	// results caches recent round results (keyed by round) so
+	// retransmitted submissions are answered idempotently; order tracks
+	// insertion for bounded eviction.
+	results map[uint64]*RoundResult
+	order   []uint64
+}
+
+// Gateway supervises many tag sessions over one Conn and drives the
+// exchange round loop: handshake with protocol-version check, per-session
+// sequence tracking, heartbeat liveness with deadline-based eviction,
+// bounded send queues with reject-or-wait backpressure, and per-session
+// circuit breakers that quarantine unresponsive tags while the rest of the
+// fleet keeps exchanging.
+type Gateway struct {
+	conn Conn
+	cfg  GatewayConfig
+	fn   ExchangeFunc
+
+	sessions map[uint8]*session // by tag ID
+	nextSID  uint64
+	round    uint64
+
+	firstSubmit time.Time // zero when no pending submission
+	roundsDone  time.Time // zero until cfg.Rounds rounds served
+
+	// telemetry
+	gSessions                           *telemetry.Gauge
+	cAccepted, cResumed, cReplaced      *telemetry.Counter
+	cRejected, cEvicted, cGoodbye       *telemetry.Counter
+	cRounds, cRetries, cOutOfOrder      *telemetry.Counter
+	cBreakerOpen, cBreakerClose         *telemetry.Counter
+	cSendRejected, cExchangeErr, cHello *telemetry.Counter
+	hRTT                                *telemetry.Histogram
+}
+
+// NewGateway builds a Gateway serving fn over conn. Run starts it.
+func NewGateway(conn Conn, cfg GatewayConfig, fn ExchangeFunc) *Gateway {
+	cfg.applyDefaults()
+	g := &Gateway{conn: conn, cfg: cfg, fn: fn, sessions: make(map[uint8]*session)}
+	if m := cfg.Metrics; m != nil {
+		g.gSessions = m.Gauge("netio.sessions")
+		g.cHello = m.Counter("netio.hello")
+		g.cAccepted = m.Counter("netio.sessions.accepted")
+		g.cResumed = m.Counter("netio.sessions.resumed")
+		g.cReplaced = m.Counter("netio.sessions.replaced")
+		g.cRejected = m.Counter("netio.sessions.rejected")
+		g.cEvicted = m.Counter("netio.evicted")
+		g.cGoodbye = m.Counter("netio.goodbye")
+		g.cRounds = m.Counter("netio.rounds")
+		g.cRetries = m.Counter("netio.retries")
+		g.cOutOfOrder = m.Counter("netio.out_of_order")
+		g.cBreakerOpen = m.Counter("netio.breaker.open")
+		g.cBreakerClose = m.Counter("netio.breaker.close")
+		g.cSendRejected = m.Counter("netio.send.rejected")
+		g.cExchangeErr = m.Counter("netio.exchange.errors")
+		g.hRTT = m.Histogram("netio.heartbeat.rtt_seconds")
+	}
+	return g
+}
+
+// Round returns the next round the gateway will run (rounds completed so
+// far). Safe only after Run returns or before it starts.
+func (g *Gateway) Round() uint64 { return g.round }
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// Run drives the supervision loop until ctx is cancelled, the socket
+// closes, or (when cfg.Rounds > 0) every round has been served and every
+// session has departed (or Linger expired). Single-goroutine by design:
+// session and round state need no locks; only the per-session sender
+// goroutines run alongside it.
+func (g *Gateway) Run(ctx context.Context) error {
+	defer func() {
+		for _, s := range g.sessions {
+			g.dropSession(s)
+		}
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		now := time.Now()
+		g.evictExpired(now)
+		g.maybeRunRound(now)
+		if done, err := g.finished(now); done {
+			return err
+		}
+		m, from, err := g.conn.Recv(g.cfg.Poll)
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return err
+			}
+			// ErrTimeout is the idle tick; malformed datagrams were already
+			// counted by the Conn.
+			continue
+		}
+		g.dispatch(time.Now(), m, from)
+	}
+}
+
+// finished reports whether a bounded run is complete.
+func (g *Gateway) finished(now time.Time) (bool, error) {
+	if g.cfg.Rounds == 0 || g.round < g.cfg.Rounds {
+		return false, nil
+	}
+	if g.roundsDone.IsZero() {
+		g.roundsDone = now
+	}
+	if len(g.sessions) == 0 {
+		return true, nil
+	}
+	if now.Sub(g.roundsDone) > g.cfg.Linger {
+		g.logf("gateway: linger expired with %d sessions still open", len(g.sessions))
+		return true, nil
+	}
+	return false, nil
+}
+
+func (g *Gateway) dispatch(now time.Time, m Message, from *net.UDPAddr) {
+	switch msg := m.(type) {
+	case *Hello:
+		g.onHello(now, msg, from)
+	case *Heartbeat:
+		g.onHeartbeat(now, msg, from)
+	case *SubmitRound:
+		g.onSubmit(now, msg, from)
+	case *Goodbye:
+		g.onGoodbye(msg)
+	default:
+		g.logf("gateway: unexpected %v from %v", m.Type(), from)
+	}
+}
+
+func (g *Gateway) onHello(now time.Time, h *Hello, from *net.UDPAddr) {
+	g.cHello.Inc()
+	if h.Version != g.cfg.Version {
+		g.cRejected.Inc()
+		g.sendDirect(from, &HelloAck{
+			Code:   HelloRejectVersion,
+			Reason: fmt.Sprintf("gateway speaks protocol %d, client sent %d", g.cfg.Version, h.Version),
+		})
+		return
+	}
+	code := HelloAccept
+	s, ok := g.sessions[h.TagID]
+	switch {
+	case ok && h.SessionID == s.id:
+		// The tag found its way back (new source address after a restart
+		// of its socket): adopt in place.
+		code = HelloResume
+		s.addr.Store(from)
+		g.cResumed.Inc()
+	case ok:
+		// Same tag, unknown/zero session: replace the stale session.
+		code = HelloResume
+		g.dropSession(s)
+		s = g.newSession(h.TagID, from)
+		g.cReplaced.Inc()
+	default:
+		s = g.newSession(h.TagID, from)
+		g.cAccepted.Inc()
+	}
+	s.seen = now
+	s.lastSeq = h.Seq
+	g.gSessions.Set(float64(len(g.sessions)))
+	g.logf("gateway: hello tag %d → %v session %d (next round %d)", h.TagID, code, s.id, g.round)
+	g.enqueue(s, &HelloAck{
+		Code:                 code,
+		SessionID:            s.id,
+		NextRound:            g.round,
+		HeartbeatMillis:      uint32(g.cfg.HeartbeatInterval / time.Millisecond),
+		SessionTimeoutMillis: uint32(g.cfg.SessionTimeout / time.Millisecond),
+	})
+}
+
+func (g *Gateway) newSession(tagID uint8, from *net.UDPAddr) *session {
+	g.nextSID++
+	s := &session{
+		id:      g.nextSID,
+		tagID:   tagID,
+		out:     make(chan Message, g.cfg.QueueDepth),
+		results: make(map[uint64]*RoundResult),
+	}
+	s.addr.Store(from)
+	g.sessions[tagID] = s
+	s.wg.Add(1)
+	go g.sender(s)
+	return s
+}
+
+// sender drains one session's bounded queue. Sessions keep their own sender
+// so one slow/unreachable tag cannot stall another's traffic.
+func (g *Gateway) sender(s *session) {
+	defer s.wg.Done()
+	for m := range s.out {
+		addr := s.addr.Load()
+		if addr == nil {
+			continue
+		}
+		if err := g.conn.Send(addr, m); err != nil {
+			g.logf("gateway: send %v to tag %d: %v", m.Type(), s.tagID, err)
+		}
+	}
+}
+
+// enqueue applies the Fleet-style reject-or-wait backpressure to a
+// session's bounded send queue.
+func (g *Gateway) enqueue(s *session, m Message) bool {
+	if g.cfg.SendTimeout <= 0 {
+		select {
+		case s.out <- m:
+			return true
+		default:
+			g.cSendRejected.Inc()
+			g.logf("gateway: send queue full, rejecting %v for tag %d", m.Type(), s.tagID)
+			return false
+		}
+	}
+	t := time.NewTimer(g.cfg.SendTimeout)
+	defer t.Stop()
+	select {
+	case s.out <- m:
+		return true
+	case <-t.C:
+		g.cSendRejected.Inc()
+		g.logf("gateway: send queue full after %v, rejecting %v for tag %d",
+			g.cfg.SendTimeout, m.Type(), s.tagID)
+		return false
+	}
+}
+
+// sendDirect bypasses session queues for messages addressed to endpoints
+// without a session (handshake rejects, evictions).
+func (g *Gateway) sendDirect(addr *net.UDPAddr, m Message) {
+	if err := g.conn.Send(addr, m); err != nil {
+		g.logf("gateway: direct send %v: %v", m.Type(), err)
+	}
+}
+
+// dropSession removes a session and stops its sender.
+func (g *Gateway) dropSession(s *session) {
+	delete(g.sessions, s.tagID)
+	close(s.out)
+	s.wg.Wait()
+	g.gSessions.Set(float64(len(g.sessions)))
+}
+
+// track updates liveness and sequence bookkeeping for an in-session
+// message.
+func (g *Gateway) track(now time.Time, s *session, seq uint64, from *net.UDPAddr) {
+	s.seen = now
+	s.addr.Store(from)
+	if seq <= s.lastSeq {
+		g.cOutOfOrder.Inc()
+		return
+	}
+	s.lastSeq = seq
+}
+
+func (g *Gateway) sessionByID(id uint64) *session {
+	for _, s := range g.sessions {
+		if s.id == id {
+			return s
+		}
+	}
+	return nil
+}
+
+func (g *Gateway) onHeartbeat(now time.Time, hb *Heartbeat, from *net.UDPAddr) {
+	s := g.sessionByID(hb.SessionID)
+	if s == nil || hb.Echo {
+		return
+	}
+	g.track(now, s, hb.Seq, from)
+	if hb.RTTNanos > 0 {
+		g.hRTT.Observe(time.Duration(hb.RTTNanos).Seconds())
+	}
+	g.enqueue(s, &Heartbeat{SessionID: s.id, Seq: hb.Seq, Echo: true})
+}
+
+func (g *Gateway) onGoodbye(gb *Goodbye) {
+	s := g.sessionByID(gb.SessionID)
+	if s == nil {
+		return
+	}
+	g.cGoodbye.Inc()
+	g.logf("gateway: goodbye tag %d (session %d)", s.tagID, s.id)
+	g.dropSession(s)
+}
+
+func (g *Gateway) onSubmit(now time.Time, sub *SubmitRound, from *net.UDPAddr) {
+	s := g.sessionByID(sub.SessionID)
+	if s == nil {
+		// Unknown session (evicted, or the gateway restarted): tell the
+		// client to re-handshake.
+		g.sendDirect(from, &Evict{SessionID: sub.SessionID, Reason: "unknown session"})
+		return
+	}
+	g.track(now, s, sub.Seq, from)
+
+	switch {
+	case sub.Round < g.round:
+		// A retransmission of an already-served round: answer from the
+		// result cache, idempotently.
+		g.cRetries.Inc()
+		if rr, ok := s.results[sub.Round]; ok {
+			g.enqueue(s, rr)
+		} else {
+			g.enqueue(s, &RoundResult{SessionID: s.id, Round: sub.Round, Status: RoundSkipped})
+		}
+	case sub.Round > g.round:
+		g.logf("gateway: tag %d submitted future round %d (current %d)", s.tagID, sub.Round, g.round)
+	case s.hasPending:
+		// Duplicate submission for the pending round (client retry racing
+		// the barrier): first write wins, the response is on its way.
+		g.cRetries.Inc()
+	default:
+		s.hasPending = true
+		s.pendingBits = sub.GetBits()
+		if g.firstSubmit.IsZero() {
+			g.firstSubmit = now
+		}
+		if s.breaker == breakerOpen {
+			// The quarantined tag is answering again: this submission is
+			// the half-open probe.
+			s.breaker = breakerHalfOpen
+			g.logf("gateway: breaker half-open for tag %d (probe round %d)", s.tagID, g.round)
+		}
+	}
+}
+
+// maybeRunRound runs the current round when the barrier is met: at least
+// one submission, and either every non-quarantined session has submitted or
+// RoundTimeout has passed since the first submission.
+func (g *Gateway) maybeRunRound(now time.Time) {
+	if g.cfg.Rounds > 0 && g.round >= g.cfg.Rounds {
+		return
+	}
+	if g.firstSubmit.IsZero() {
+		return
+	}
+	if g.round == 0 && len(g.sessions) < g.cfg.MinSessions {
+		return
+	}
+	waiting := 0
+	for _, s := range g.sessions {
+		if s.breaker != breakerOpen && !s.hasPending {
+			waiting++
+		}
+	}
+	if waiting > 0 && now.Sub(g.firstSubmit) < g.cfg.RoundTimeout {
+		return
+	}
+	g.runRound()
+}
+
+func (g *Gateway) runRound() {
+	round := g.round
+	bits := make(map[uint8][]bool)
+	for _, s := range g.sessions {
+		if s.hasPending {
+			bits[s.tagID] = s.pendingBits
+		}
+	}
+	if len(bits) == 0 {
+		// Every submitter was evicted before the barrier fired; there is
+		// no round to run.
+		g.firstSubmit = time.Time{}
+		return
+	}
+	outcomes, err := g.fn(round, bits)
+	g.cRounds.Inc()
+	if err != nil {
+		g.cExchangeErr.Inc()
+		g.trip(fmt.Sprintf("netio: exchange error round %d: %v", round, err))
+		g.logf("gateway: round %d exchange error: %v", round, err)
+	}
+
+	for _, s := range g.sessions {
+		var rr *RoundResult
+		switch {
+		case !s.hasPending:
+			// Missed the barrier: a strike toward quarantine. The skipped
+			// result is cached so the straggler's eventual submission gets
+			// a truthful answer.
+			rr = &RoundResult{SessionID: s.id, Round: round, Status: RoundSkipped}
+			g.strike(s)
+		case err != nil:
+			rr = &RoundResult{SessionID: s.id, Round: round, Status: RoundError,
+				Outcome: Outcome{Err: err.Error()}}
+		default:
+			out, ok := outcomes[s.tagID]
+			if !ok {
+				out = Outcome{Err: fmt.Sprintf("no outcome for tag %d", s.tagID)}
+			}
+			rr = &RoundResult{SessionID: s.id, Round: round, Status: RoundOK, Outcome: out}
+		}
+		g.cacheResult(s, rr)
+		if s.hasPending {
+			if s.breaker == breakerHalfOpen {
+				// Probe succeeded end to end: close the breaker.
+				s.breaker = breakerClosed
+				s.misses = 0
+				g.cBreakerClose.Inc()
+				g.logf("gateway: breaker closed for tag %d", s.tagID)
+			}
+			g.enqueue(s, rr)
+		}
+		s.hasPending = false
+		s.pendingBits = nil
+	}
+	g.round++
+	g.firstSubmit = time.Time{}
+	g.logf("gateway: round %d served (%d tags)", round, len(bits))
+}
+
+// strike records a missed round; enough consecutive strikes open the
+// session's breaker and quarantine the tag.
+func (g *Gateway) strike(s *session) {
+	if s.breaker == breakerOpen {
+		return
+	}
+	if s.breaker == breakerHalfOpen {
+		// The probe round itself cannot miss (half-open is entered by
+		// submitting), but a later miss sends it back to open.
+		s.breaker = breakerOpen
+		return
+	}
+	s.misses++
+	if s.misses >= g.cfg.BreakerThreshold {
+		s.breaker = breakerOpen
+		g.cBreakerOpen.Inc()
+		g.trip(fmt.Sprintf("netio: breaker open: tag %d missed %d rounds", s.tagID, s.misses))
+		g.logf("gateway: breaker open for tag %d after %d misses", s.tagID, s.misses)
+	}
+}
+
+func (g *Gateway) cacheResult(s *session, rr *RoundResult) {
+	if _, ok := s.results[rr.Round]; !ok {
+		s.order = append(s.order, rr.Round)
+		for len(s.order) > g.cfg.ResultCache {
+			delete(s.results, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.results[rr.Round] = rr
+}
+
+// evictExpired removes sessions whose liveness deadline passed, notifying
+// the client so it can re-handshake.
+func (g *Gateway) evictExpired(now time.Time) {
+	for _, s := range g.sessions {
+		if now.Sub(s.seen) <= g.cfg.SessionTimeout {
+			continue
+		}
+		g.cEvicted.Inc()
+		g.trip(fmt.Sprintf("netio: session evicted: tag %d silent for %v", s.tagID, now.Sub(s.seen).Round(time.Millisecond)))
+		g.logf("gateway: evicting tag %d (session %d): silent past %v", s.tagID, s.id, g.cfg.SessionTimeout)
+		if addr := s.addr.Load(); addr != nil {
+			g.sendDirect(addr, &Evict{SessionID: s.id, Reason: "heartbeat deadline passed"})
+		}
+		g.dropSession(s)
+	}
+}
+
+func (g *Gateway) trip(reason string) {
+	if g.cfg.Flight != nil {
+		g.cfg.Flight.Trip(reason)
+	}
+}

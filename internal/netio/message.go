@@ -59,6 +59,9 @@ func (t MsgType) String() string {
 	case TypeCommand:
 		return "command"
 	default:
+		if name, ok := sessionTypeName(t); ok {
+			return name
+		}
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
 }
@@ -132,6 +135,20 @@ func Unmarshal(buf []byte) (Message, error) {
 		m = &ModulationPlan{}
 	case TypeCommand:
 		m = &Command{}
+	case TypeHello:
+		m = &Hello{}
+	case TypeHelloAck:
+		m = &HelloAck{}
+	case TypeHeartbeat:
+		m = &Heartbeat{}
+	case TypeSubmitRound:
+		m = &SubmitRound{}
+	case TypeRoundResult:
+		m = &RoundResult{}
+	case TypeGoodbye:
+		m = &Goodbye{}
+	case TypeEvict:
+		m = &Evict{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, typ)
 	}

@@ -1,0 +1,171 @@
+package netio
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"biscatter/internal/telemetry"
+)
+
+// memTransport is an in-memory Transport capturing everything written.
+type memTransport struct {
+	mu     sync.Mutex
+	sent   [][]byte
+	closed bool
+}
+
+func (m *memTransport) WriteTo(b []byte, _ *net.UDPAddr) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent = append(m.sent, append([]byte(nil), b...))
+	return len(b), nil
+}
+func (m *memTransport) ReadFrom(b []byte) (int, *net.UDPAddr, error) { select {} }
+func (m *memTransport) SetReadDeadline(time.Time) error              { return nil }
+func (m *memTransport) LocalAddr() net.Addr                          { return &net.UDPAddr{} }
+func (m *memTransport) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+func (m *memTransport) snapshot() [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([][]byte(nil), m.sent...)
+}
+
+func sendN(t *testing.T, tr Transport, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		buf, err := Marshal(&Goodbye{SessionID: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.WriteTo(buf, &net.UDPAddr{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNetFaultDeterministic pins the injector's replay property: the same
+// profile produces the same datagram stream, byte for byte.
+func TestNetFaultDeterministic(t *testing.T) {
+	profile := NetFaultProfile{Seed: 42, Drop: 0.2, Duplicate: 0.1, Reorder: 0.1, Corrupt: 0.1}
+	run := func() [][]byte {
+		mem := &memTransport{}
+		ft := newFaultTransport(mem, profile, nil)
+		sendN(t, ft, 200)
+		ft.Close()
+		return mem.snapshot()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %d vs %d datagrams", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("datagram %d diverged", i)
+		}
+	}
+	if len(a) == 200 {
+		t.Fatal("profile injected nothing")
+	}
+}
+
+// TestNetFaultRatesObserved checks each impairment actually fires at
+// roughly its configured probability, and that the telemetry counters see
+// every decision.
+func TestNetFaultRatesObserved(t *testing.T) {
+	m := telemetry.New()
+	mem := &memTransport{}
+	const n, drop = 2000, 0.10
+	ft := newFaultTransport(mem, NetFaultProfile{Seed: 7, Drop: drop, Duplicate: 0.05, Corrupt: 0.05}, m)
+	sendN(t, ft, n)
+	ft.Close()
+
+	dropped := m.Counter("netio.fault.dropped").Value()
+	duplicated := m.Counter("netio.fault.duplicated").Value()
+	corrupted := m.Counter("netio.fault.corrupted").Value()
+	if dropped < n*drop/2 || dropped > n*drop*2 {
+		t.Fatalf("dropped %d of %d, want ≈%v", dropped, n, n*drop)
+	}
+	if duplicated == 0 || corrupted == 0 {
+		t.Fatalf("duplicated=%d corrupted=%d, want both > 0", duplicated, corrupted)
+	}
+	if got := int64(len(mem.snapshot())); got != n-dropped+duplicated {
+		t.Fatalf("transport saw %d datagrams, want %d-%d+%d", got, n, dropped, duplicated)
+	}
+	// Every corrupted datagram must fail CRC (or magic) on decode. A
+	// corrupted datagram that is also duplicated appears (and fails) twice.
+	bad := int64(0)
+	for _, d := range mem.snapshot() {
+		if _, err := Unmarshal(d); err != nil {
+			bad++
+		}
+	}
+	if bad < corrupted || bad > corrupted+duplicated {
+		t.Fatalf("%d undecodable datagrams, want between %d and %d", bad, corrupted, corrupted+duplicated)
+	}
+}
+
+// TestNetFaultReorderSwapsAdjacent pins the hold-one reorder semantics: a
+// reordered datagram goes out after its successor, and Close flushes a
+// datagram held at shutdown.
+func TestNetFaultReorderSwapsAdjacent(t *testing.T) {
+	mem := &memTransport{}
+	ft := newFaultTransport(mem, NetFaultProfile{Seed: 3, Reorder: 0.3}, nil)
+	sendN(t, ft, 100)
+	ft.Close()
+	got := mem.snapshot()
+	if len(got) != 100 {
+		t.Fatalf("reorder must not lose datagrams: %d of 100", len(got))
+	}
+	// Decode the session IDs back out and check it is a permutation of
+	// 0..99 that is NOT the identity.
+	seen := make(map[uint64]bool)
+	identity := true
+	for i, d := range got {
+		m, err := Unmarshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := m.(*Goodbye).SessionID
+		if seen[id] {
+			t.Fatalf("datagram %d duplicated", id)
+		}
+		seen[id] = true
+		if id != uint64(i) {
+			identity = false
+		}
+	}
+	if identity {
+		t.Fatal("profile reordered nothing")
+	}
+}
+
+// TestNetFaultDisabledPassThrough pins that a zero profile adds no wrapper.
+func TestNetFaultDisabledPassThrough(t *testing.T) {
+	mem := &memTransport{}
+	if tr := newFaultTransport(mem, NetFaultProfile{Seed: 1}, nil); tr != Transport(mem) {
+		t.Fatal("zero profile must return the inner transport")
+	}
+}
+
+// TestNetFaultDelay checks delayed datagrams still arrive.
+func TestNetFaultDelay(t *testing.T) {
+	mem := &memTransport{}
+	ft := newFaultTransport(mem, NetFaultProfile{Seed: 5, Delay: 0.5, MaxDelay: 5 * time.Millisecond}, nil)
+	sendN(t, ft, 50)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(mem.snapshot()) < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := len(mem.snapshot()); got != 50 {
+		t.Fatalf("only %d of 50 datagrams arrived after delay window", got)
+	}
+	ft.Close()
+}

@@ -268,13 +268,13 @@ func TestUDPMalformedDatagramSurfacesError(t *testing.T) {
 	}
 }
 
-// rawSend pushes unvalidated bytes through the node's socket.
+// rawSend pushes unvalidated bytes through the node's transport.
 func rawSend(n *Node, addr string, buf []byte) (int, error) {
 	ua, err := netResolve(addr)
 	if err != nil {
 		return 0, err
 	}
-	return n.conn.WriteToUDP(buf, ua)
+	return n.tr.WriteTo(buf, ua)
 }
 
 func TestPayloadBytesAreCopied(t *testing.T) {
