@@ -30,6 +30,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +39,7 @@ import (
 
 	"biscatter/internal/core"
 	"biscatter/internal/fec"
+	"biscatter/internal/mac"
 	"biscatter/internal/netio"
 	"biscatter/internal/radar"
 	"biscatter/internal/telemetry"
@@ -49,7 +51,8 @@ func main() {
 	sf := netio.RegisterServiceFlags(flag.CommandLine)
 	faults := netio.RegisterNetFaultFlags(flag.CommandLine)
 	tags := flag.Int("tags", 0, "serve this many tag sessions in gateway mode (0 = single-peer demo)")
-	minTags := flag.Int("min-tags", 0, "gateway mode: wait for this many sessions before round 0 (0 = -tags)")
+	networks := flag.Int("networks", 1, "gateway mode: multiplex this many member networks (each -tags wide) behind one gateway via a fleet")
+	minTags := flag.Int("min-tags", 0, "gateway mode: wait for this many sessions before round 0 (0 = all tags)")
 	recordOut := flag.String("record-out", "", "gateway mode: write the exchange record to this file")
 	tagRange := flag.Float64("range", 2.6, "simulated radar–tag distance in meters")
 	payload := flag.String("payload", "hello tag", "downlink payload")
@@ -63,7 +66,12 @@ func main() {
 	flag.Parse()
 
 	if *tags > 0 {
-		if err := serveGateway(sf, faults, *tags, *minTags, *rounds, *seed, *payload, *recordOut, *debugAddr, *metricsOut); err != nil {
+		err := serveGateway(sf, faults, *tags, *networks, *minTags, *rounds, *seed, *payload, *recordOut, *debugAddr, *metricsOut)
+		switch {
+		case errors.Is(err, netio.ErrAddrInUse):
+			// A clean, actionable exit: another gateway already owns the port.
+			log.Fatalf("%v — is another gateway already running there?", err)
+		case err != nil:
 			log.Fatal(err)
 		}
 		return
@@ -77,49 +85,110 @@ func main() {
 	}
 }
 
-// gatewayConfig places n nodes (n ≤ 4) with uplink tone pairs below the
-// slow-time band limit, matching the chaos conformance deployment.
-func gatewayConfig(n int, seed int64, metrics *telemetry.Metrics) (core.Config, error) {
-	if n < 1 || n > 4 {
-		return core.Config{}, fmt.Errorf("-tags must be between 1 and 4, got %d", n)
+// gatewayTones is the validated 4-pair uplink tone table: slots within one
+// TDMA frame reuse it, so any fleet size works as long as at most 4 tags
+// modulate per frame.
+var gatewayTones = [4][2]float64{{1000, 1400}, {1800, 2200}, {2600, 3000}, {3400, 3800}}
+
+// gatewayConfig places n nodes with uplink tone pairs below the slow-time
+// band limit. Up to 4 tags fit one frame; beyond that a frame schedule
+// (frameCapacity 1–4 tags per TDMA frame group) time-division-multiplexes
+// the fleet so frames reuse the tone table. idBase offsets the node IDs so
+// several member networks stay globally unique behind one gateway.
+func gatewayConfig(n, frameCapacity, idBase int, seed int64, metrics *telemetry.Metrics) (core.Config, error) {
+	if n < 1 {
+		return core.Config{}, fmt.Errorf("-tags must be positive, got %d", n)
+	}
+	capacity := frameCapacity
+	if capacity <= 0 {
+		if n <= len(gatewayTones) {
+			capacity = n
+		} else {
+			capacity = len(gatewayTones)
+		}
+	}
+	if capacity > len(gatewayTones) {
+		return core.Config{}, fmt.Errorf("-frame-capacity %d exceeds the %d-pair tone table", capacity, len(gatewayTones))
 	}
 	cfg := core.Config{Seed: seed, Metrics: metrics}
+	if n > capacity {
+		sched, err := mac.NewFrameSchedule(n, capacity)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Schedule = sched
+	}
 	for i := 0; i < n; i++ {
-		f0 := 1000 + 800*float64(i)
+		group, slot := 0, i
+		if cfg.Schedule != nil {
+			group, slot = cfg.Schedule.Assignment(i)
+		}
 		cfg.Nodes = append(cfg.Nodes, core.NodeConfig{
-			ID:           uint8(i + 1),
-			Range:        1.5 + 1.2*float64(i),
-			ModulationF0: f0,
-			ModulationF1: f0 + 400,
+			ID:           uint8(idBase + i + 1),
+			Range:        1.5 + 1.2*float64(slot) + 0.3*float64(group),
+			ModulationF0: gatewayTones[slot][0],
+			ModulationF1: gatewayTones[slot][1],
 		})
 	}
 	return cfg, nil
 }
 
 // serveGateway runs the distributed fleet service: a netio.Gateway
-// supervising -tags client sessions, each round executed on the in-process
-// exchange pipeline and captured into a replayable record.
+// supervising tag client sessions across one or more member networks, each
+// round executed on the in-process exchange pipeline and captured into a
+// replayable record per network. With -networks > 1 the members run on a
+// core.Fleet — one gateway, N networks, concurrent rounds.
 func serveGateway(sf *netio.ServiceFlags, faults *netio.NetFaultProfile,
-	tags, minTags, rounds int, seed int64, payload, recordOut, debugAddr, metricsOut string) error {
+	tags, networks, minTags, rounds int, seed int64, payload, recordOut, debugAddr, metricsOut string) error {
 
+	if networks < 1 {
+		return fmt.Errorf("-networks must be positive, got %d", networks)
+	}
+	admission, err := netio.ParseAdmissionPolicy(sf.Admission)
+	if err != nil {
+		return err
+	}
 	metrics := telemetry.New()
 	flight := telemetry.NewFlightRecorder(64)
-	cfg, err := gatewayConfig(tags, seed, metrics)
-	if err != nil {
-		return err
+	payloadFn := func(round uint64) []byte { return []byte(payload) }
+
+	var fleet *core.Fleet
+	if networks > 1 {
+		fleet = core.NewFleet(core.FleetConfig{Engines: networks, Metrics: metrics, Flight: flight})
+		defer fleet.Close()
 	}
-	netw, err := core.NewNetwork(cfg)
-	if err != nil {
-		return err
+	recs := make([]*core.ExchangeRecorder, networks)
+	members := make([]core.GatewayMember, networks)
+	for ni := 0; ni < networks; ni++ {
+		cfg, err := gatewayConfig(tags, sf.FrameCapacity, ni*tags, seed+int64(ni), metrics)
+		if err != nil {
+			return err
+		}
+		var netw *core.Network
+		var handle *core.FleetNetwork
+		if fleet != nil {
+			cfg.Metrics = nil // the fleet attaches its shared metrics itself
+			handle, err = fleet.AddNetwork(cfg)
+			if err != nil {
+				return err
+			}
+			netw = handle.Network()
+		} else {
+			netw, err = core.NewNetwork(cfg)
+			if err != nil {
+				return err
+			}
+		}
+		rec, err := core.NewExchangeRecorder(netw)
+		if err != nil {
+			return err
+		}
+		rec.SetMeta("tool", "biscatter-radar gateway")
+		rec.SetMeta("network", fmt.Sprint(ni))
+		recs[ni] = rec
+		members[ni] = core.GatewayMember{Recorder: rec, Handle: handle}
 	}
-	rec, err := core.NewExchangeRecorder(netw)
-	if err != nil {
-		return err
-	}
-	rec.SetMeta("tool", "biscatter-radar gateway")
-	fn, err := core.NewGatewayHandler(rec, func(round uint64) []byte {
-		return []byte(payload)
-	})
+	mux, err := core.NewGatewayMux(payloadFn, members...)
 	if err != nil {
 		return err
 	}
@@ -138,34 +207,46 @@ func serveGateway(sf *netio.ServiceFlags, faults *netio.NetFaultProfile,
 	if listen == "" {
 		listen = "127.0.0.1:9100"
 	}
-	conn, err := netio.Listen(listen, netio.WithMetrics(metrics), netio.WithNetFaults(faults))
+	conn, err := netio.ListenTransport(sf.Transport, listen, netio.WithMetrics(metrics), netio.WithNetFaults(faults))
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	if minTags <= 0 {
-		minTags = tags
+		minTags = mux.Sessions()
 	}
-	log.Printf("gateway on %v: %d-node fleet, %d rounds, min %d sessions", conn.Addr(), tags, rounds, minTags)
+	log.Printf("gateway on %v (%s): %d networks × %d tags over %d frame groups, %d rounds, min %d sessions, admission %v",
+		conn.Addr(), sf.Transport, networks, tags, mux.Groups(), rounds, minTags, admission)
 	gw := netio.NewGateway(conn, netio.GatewayConfig{
 		MinSessions:       minTags,
+		MaxSessions:       mux.Sessions(),
 		Rounds:            uint64(rounds),
+		GroupOf:           mux.GroupOf,
+		Admission:         admission,
+		FrameTimeout:      sf.FrameTimeout,
 		HeartbeatInterval: sf.Heartbeat,
 		SessionTimeout:    sf.SessionTimeout,
 		Metrics:           metrics,
 		Flight:            flight,
 		Logf:              log.Printf,
-	}, fn)
+	}, mux.ExchangeFunc())
 	if err := gw.Run(context.Background()); err != nil {
 		return err
 	}
-	record := rec.Record()
-	log.Printf("gateway done: %d rounds recorded", len(record.Rounds))
-	if recordOut != "" {
-		if err := trace.SaveExchange(recordOut, record); err != nil {
+	for ni, rec := range recs {
+		record := rec.Record()
+		log.Printf("gateway done: network %d recorded %d rounds", ni, len(record.Rounds))
+		if recordOut == "" {
+			continue
+		}
+		out := recordOut
+		if networks > 1 {
+			out = fmt.Sprintf("%s.net%d", recordOut, ni)
+		}
+		if err := trace.SaveExchange(out, record); err != nil {
 			return fmt.Errorf("record-out: %w", err)
 		}
-		log.Printf("exchange record written to %s (verify with: biscatter-sim replay %s)", recordOut, recordOut)
+		log.Printf("exchange record written to %s (verify with: biscatter-sim replay %s)", out, out)
 	}
 	if metricsOut != "" {
 		if err := telemetry.WriteSnapshotFile(metricsOut, metrics.Snapshot()); err != nil {

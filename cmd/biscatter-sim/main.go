@@ -285,7 +285,8 @@ func runReplay(args []string) int {
 // exchange record must replay byte-identically on the in-process pipeline.
 func runChaos(args []string) int {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
-	tags := fs.Int("tags", 3, "number of tag clients (1–4)")
+	sf := netio.RegisterServiceFlags(fs)
+	tags := fs.Int("tags", 3, "number of tag clients (>4 requires TDMA frame scheduling, see -frame-capacity)")
 	rounds := fs.Int("rounds", 5, "number of exchange rounds")
 	seed := fs.Int64("seed", 424, "network noise seed")
 	out := fs.String("out", "", "also write the exchange record to this file")
@@ -295,19 +296,41 @@ func runChaos(args []string) int {
 		// Chaos without faults proves nothing; default to the acceptance duty.
 		faults.Drop, faults.Reorder, faults.Duplicate = 0.10, 0.05, 0.03
 	}
-	if *tags < 1 || *tags > 4 {
-		fmt.Fprintf(os.Stderr, "chaos: -tags must be between 1 and 4, got %d\n", *tags)
+
+	// Slots within one TDMA frame reuse this validated tone table; fleets
+	// wider than it are time-division-multiplexed across frame groups.
+	tones := [][2]float64{{1000, 1400}, {1800, 2200}, {2600, 3000}, {3400, 3800}}
+	capacity := sf.FrameCapacity
+	if capacity <= 0 {
+		capacity = len(tones)
+		if *tags < capacity {
+			capacity = *tags
+		}
+	}
+	if *tags < 1 || capacity > len(tones) {
+		fmt.Fprintf(os.Stderr, "chaos: need -tags ≥ 1 and -frame-capacity ≤ %d (got %d tags, capacity %d)\n",
+			len(tones), *tags, capacity)
 		return 2
 	}
-
-	tones := [][2]float64{{1000, 1400}, {1800, 2200}, {2600, 3000}, {3400, 3800}}
 	cfg := core.Config{Seed: *seed, ChirpsPerBit: 16}
+	if *tags > capacity {
+		sched, err := mac.NewFrameSchedule(*tags, capacity)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 2
+		}
+		cfg.Schedule = sched
+	}
 	for i := 0; i < *tags; i++ {
+		group, slot := 0, i
+		if cfg.Schedule != nil {
+			group, slot = cfg.Schedule.Assignment(i)
+		}
 		cfg.Nodes = append(cfg.Nodes, core.NodeConfig{
 			ID:           uint8(i + 1),
-			Range:        1.5 + 1.2*float64(i),
-			ModulationF0: tones[i][0],
-			ModulationF1: tones[i][1],
+			Range:        1.5 + 1.2*float64(slot) + 0.3*float64(group),
+			ModulationF0: tones[slot][0],
+			ModulationF1: tones[slot][1],
 		})
 	}
 	netw, err := core.NewNetwork(cfg)
@@ -329,20 +352,47 @@ func runChaos(args []string) int {
 		return 1
 	}
 
+	admission, err := netio.ParseAdmissionPolicy(sf.Admission)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 2
+	}
 	metrics := telemetry.New()
 	flight := telemetry.NewFlightRecorder(64)
-	gwConn, err := netio.Listen("127.0.0.1:0", netio.WithMetrics(metrics), netio.WithNetFaults(faults))
+	listen := sf.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	gwConn, err := netio.ListenTransport(sf.Transport, listen,
+		netio.WithMetrics(metrics), netio.WithNetFaults(faults))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 		return 1
 	}
 	defer gwConn.Close()
-	gw := netio.NewGateway(gwConn, netio.GatewayConfig{
-		MinSessions: *tags,
-		Rounds:      uint64(*rounds),
-		Metrics:     metrics,
-		Flight:      flight,
-	}, fn)
+	gwCfg := netio.GatewayConfig{
+		MinSessions:       *tags,
+		Rounds:            uint64(*rounds),
+		Schedule:          cfg.Schedule,
+		Admission:         admission,
+		FrameTimeout:      sf.FrameTimeout,
+		HeartbeatInterval: sf.Heartbeat,
+		SessionTimeout:    sf.SessionTimeout,
+		Metrics:           metrics,
+		Flight:            flight,
+	}
+	if cfg.Schedule != nil {
+		// A wide fleet needs a patient barrier (a straggler's handshake
+		// retries must not force a partial round — conformance pins the full
+		// fleet) and a bounded post-rounds linger (some Goodbye almost
+		// always drops under the fault profile).
+		gwCfg.RoundTimeout = 30 * time.Second
+		if gwCfg.FrameTimeout <= 0 {
+			gwCfg.FrameTimeout = 10 * time.Second
+		}
+		gwCfg.Linger = 5 * time.Second
+	}
+	gw := netio.NewGateway(gwConn, gwCfg, fn)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	gwDone := make(chan error, 1)
@@ -355,7 +405,7 @@ func runChaos(args []string) int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = chaosClient(ctx, gwConn.Addr().String(), uint8(i+1), *seed, *rounds, faults)
+			errs[i] = chaosClient(ctx, sf.Transport, gwConn.Addr().String(), uint8(i+1), *seed, *rounds, faults)
 		}(i)
 	}
 	wg.Wait()
@@ -375,8 +425,8 @@ func runChaos(args []string) int {
 		metrics.Counter("netio.fault.duplicated").Value() +
 		metrics.Counter("netio.fault.reordered").Value() +
 		metrics.Counter("netio.fault.corrupted").Value()
-	fmt.Printf("chaos: %d tags × %d rounds over loopback UDP in %.1fs (%d faults injected, %d session retries)\n",
-		*tags, len(record.Rounds), time.Since(start).Seconds(), injected,
+	fmt.Printf("chaos: %d tags × %d rounds over loopback %s in %.1fs (%d faults injected, %d session retries)\n",
+		*tags, len(record.Rounds), sf.Transport, time.Since(start).Seconds(), injected,
 		metrics.Counter("netio.retries").Value()+metrics.Counter("netio.client.retries").Value())
 	if *out != "" {
 		if err := trace.SaveExchange(*out, record); err != nil {
@@ -403,15 +453,21 @@ func runChaos(args []string) int {
 }
 
 // chaosClient is one tag's session: dial the gateway and submit every round.
-func chaosClient(ctx context.Context, addr string, id uint8, seed int64, rounds int, faults *netio.NetFaultProfile) error {
+func chaosClient(ctx context.Context, transport, addr string, id uint8, seed int64, rounds int, faults *netio.NetFaultProfile) error {
 	p := *faults
 	p.Seed = faults.Seed + int64(id)*1000
-	conn, err := netio.Listen("127.0.0.1:0", netio.WithNetFaults(&p))
+	conn, err := netio.ListenTransport(transport, "127.0.0.1:0", netio.WithNetFaults(&p))
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	c, err := netio.Dial(conn, addr, netio.ClientConfig{TagID: id, Seed: seed + int64(id)})
+	c, err := netio.Dial(conn, addr, netio.ClientConfig{
+		TagID:          id,
+		Seed:           seed + int64(id),
+		AttemptTimeout: 500 * time.Millisecond,
+		MaxAttempts:    40,
+		DialAttempts:   40,
+	})
 	if err != nil {
 		return fmt.Errorf("tag %d: %w", id, err)
 	}

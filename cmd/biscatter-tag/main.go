@@ -77,7 +77,7 @@ func runClient(sf *netio.ServiceFlags, faults *netio.NetFaultProfile, id uint8, 
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
-	conn, err := netio.Listen(listen, netio.WithNetFaults(faults))
+	conn, err := netio.ListenTransport(sf.Transport, listen, netio.WithNetFaults(faults))
 	if err != nil {
 		return err
 	}

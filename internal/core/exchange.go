@@ -542,9 +542,10 @@ func (n *Network) detectNodes(ctx context.Context, matrix [][]float64, grid []fl
 // ScheduledResult is the outcome of one full frame-schedule cycle: every
 // node served exactly once across the cycle's rounds.
 type ScheduledResult struct {
-	// Rounds holds one ExchangeResult per frame group, in group order. In
-	// each round only that group's nodes are active; the rest carry
-	// ErrNodeInactive.
+	// Rounds holds one ExchangeResult per served frame group, in group
+	// order. In each round only that group's nodes are active; the rest
+	// carry ErrNodeInactive. Under WithActiveNodes, groups with no active
+	// member are skipped and contribute no round.
 	Rounds []*ExchangeResult
 	// Nodes holds the merged per-node results: node i's entry comes from
 	// the round in which its group was active.
@@ -563,7 +564,11 @@ func (n *Network) ExchangeScheduled(payload []byte, uplinkBits map[int][]bool, o
 // never collide). The payload is retransmitted in every round — each tag
 // decodes it during its own group's frame — and uplinkBits maps node index
 // → bits exactly as in Exchange, split across rounds by group membership.
-// On a network without a schedule the cycle is a single all-active round.
+// WithActiveNodes restricts the cycle to a subset of nodes: each group is
+// intersected with the set and empty groups are skipped (a distributed
+// gateway serving a partially-attended round pays only for the frames that
+// carry traffic). On a network without a schedule the cycle is a single
+// all-active round.
 //
 // The merged Nodes view aliases the per-round results, which follow the
 // Network ownership contract: valid until the next call on this Network.
@@ -580,12 +585,41 @@ func (n *Network) ExchangeScheduledContext(ctx context.Context, payload []byte, 
 		Rounds: make([]*ExchangeResult, 0, sched.Frames()),
 		Nodes:  make([]NodeResult, len(n.nodes)),
 	}
+	// A caller-supplied active subset (WithActiveNodes) intersects each
+	// frame group: only the named nodes modulate, and a group with no
+	// active member sits the cycle out entirely — no frame is spent on it,
+	// and no sequence number is consumed, so a partially-attended cycle
+	// replays deterministically from its recorded active set.
+	var eo exchangeOptions
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	var activeSet map[int]bool
+	if eo.active != nil {
+		activeSet = make(map[int]bool, len(eo.active))
+		for _, i := range eo.active {
+			activeSet[i] = true
+		}
+	}
 	if n.scr.roundBits == nil {
 		n.scr.roundBits = make(map[int][]bool)
 	}
 	for g := 0; g < sched.Frames(); g++ {
 		grp := sched.AppendGroup(n.scr.group[:0], g)
 		n.scr.group = grp
+		if activeSet != nil {
+			k := 0
+			for _, i := range grp {
+				if activeSet[i] {
+					grp[k] = i
+					k++
+				}
+			}
+			grp = grp[:k]
+			if len(grp) == 0 {
+				continue
+			}
+		}
 		clear(n.scr.roundBits)
 		for _, i := range grp {
 			if bits, ok := uplinkBits[i]; ok {

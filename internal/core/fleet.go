@@ -334,6 +334,26 @@ func (fn *FleetNetwork) Engine() int { return fn.eng.id }
 // would race the engine; go through the FleetNetwork methods instead.
 func (fn *FleetNetwork) Network() *Network { return fn.net }
 
+// Do runs f on the network's engine, serialized with the network's other
+// requests — the escape hatch for recorder-bound drivers (a GatewayMux
+// running an ExchangeRecorder against the resident network) that need
+// engine affinity for a call pattern the method wrappers don't cover. f
+// receives the resident network; everything it produces follows the
+// per-network ownership contract (valid until the handle's next request).
+// The returned error is f's own unless scheduling failed (context done,
+// fleet closed).
+func (fn *FleetNetwork) Do(ctx context.Context, f func(ctx context.Context, n *Network) error) error {
+	var rerr error
+	if err := fn.fleet.do(ctx, fn.eng, func(ctx context.Context) {
+		rerr = f(ctx, fn.net)
+	}); err != nil {
+		fn.outcome(err)
+		return err
+	}
+	fn.outcome(rerr)
+	return rerr
+}
+
 // outcome tallies one request's per-network counters.
 func (fn *FleetNetwork) outcome(err error) {
 	fn.requests.Inc()

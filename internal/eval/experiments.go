@@ -77,6 +77,7 @@ var Registry = []struct {
 	{"recovery", Recovery},
 	{"fleet", Fleet},
 	{"distributed", Distributed},
+	{"gateway", Gateway},
 }
 
 // Lookup finds an experiment by ID.

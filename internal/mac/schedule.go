@@ -79,6 +79,16 @@ func (s *FrameSchedule) SlotOf(tag int) int {
 	return tag % s.capacity
 }
 
+// Assignment returns tag's (frame group, tone slot) pair in one call — what
+// a schedule-aware gateway stores per session at admission time.
+// Out-of-range tags return (-1, -1).
+func (s *FrameSchedule) Assignment(tag int) (group, slot int) {
+	if tag < 0 || tag >= s.nTags {
+		return -1, -1
+	}
+	return tag / s.capacity, tag % s.capacity
+}
+
 // GroupSize returns the number of tags in frame group g (the last group of
 // a cycle may be short). Out-of-range groups return 0.
 func (s *FrameSchedule) GroupSize(g int) int {

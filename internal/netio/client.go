@@ -164,6 +164,12 @@ func (c *Client) handshake(ctx context.Context) error {
 			if !ok {
 				continue // stale traffic from a previous session
 			}
+			if ack.Code == HelloQueued {
+				// Parked in the gateway's admission queue: back off and
+				// retry the handshake; DialAttempts bounds the total wait.
+				c.logf("client %d: queued for admission (%s)", c.cfg.TagID, ack.Reason)
+				break
+			}
 			if !ack.Code.Accepted() {
 				return fmt.Errorf("%w: %v (%s)", ErrRejected, ack.Code, ack.Reason)
 			}
@@ -187,11 +193,20 @@ func (c *Client) handshake(ctx context.Context) error {
 	return fmt.Errorf("netio: gateway %v unreachable after %d attempts", c.gw, c.cfg.DialAttempts)
 }
 
-// backoff computes the ARQ-style jittered geometric backoff for attempt.
+// backoff computes the ARQ-style jittered geometric backoff for attempt,
+// capped at 4× the attempt timeout. The cap is what keeps a large fleet
+// stable: uncapped geometric growth puts a tag to sleep for minutes after a
+// dozen lossy attempts — long past the gateway's liveness deadline (no
+// heartbeats are sent mid-backoff), so the session gets evicted and the
+// whole round barrier stalls behind the re-handshake.
 func (c *Client) backoff(attempt int) time.Duration {
 	nominal := float64(c.cfg.AttemptTimeout) / 4
-	for i := 0; i < attempt; i++ {
+	cap := float64(c.cfg.AttemptTimeout) * 4
+	for i := 0; i < attempt && nominal < cap; i++ {
 		nominal *= c.cfg.BackoffFactor
+	}
+	if nominal > cap {
+		nominal = cap
 	}
 	j := c.cfg.JitterFraction
 	if j == 0 {

@@ -6,10 +6,10 @@ import (
 )
 
 // ServiceFlags are the distributed-mode flags shared verbatim by
-// biscatter-radar and biscatter-tag. Keeping them in one registration
-// helper (instead of per-binary flag.Duration calls) is what the
-// flag-parity test pins: both binaries must expose the same names with the
-// same defaults and usage strings.
+// biscatter-radar, biscatter-tag and biscatter-sim. Keeping them in one
+// registration helper (instead of per-binary flag.Duration calls) is what
+// the flag-parity test pins: every binary must expose the same names with
+// the same defaults and usage strings.
 type ServiceFlags struct {
 	// Listen is the gateway bind address (radar side).
 	Listen string
@@ -19,6 +19,18 @@ type ServiceFlags struct {
 	Heartbeat time.Duration
 	// SessionTimeout is the liveness deadline before eviction.
 	SessionTimeout time.Duration
+	// Transport selects the session transport: TransportUDP or TransportTCP.
+	Transport string
+	// Admission names the gateway's session-overflow policy; parse it with
+	// ParseAdmissionPolicy.
+	Admission string
+	// FrameCapacity bounds concurrent tags per TDMA frame group (0 = the
+	// deployment's tone-table capacity; mac.ScheduleFor gives the analytic
+	// bound when tones are auto-assigned).
+	FrameCapacity int
+	// FrameTimeout is the per-frame-group round barrier timeout (0 = the
+	// gateway's RoundTimeout).
+	FrameTimeout time.Duration
 }
 
 // RegisterServiceFlags registers the shared distributed-mode flags on fs.
@@ -28,6 +40,10 @@ func RegisterServiceFlags(fs *flag.FlagSet) *ServiceFlags {
 	fs.StringVar(&sf.Connect, "connect", "", "gateway address to dial, e.g. 127.0.0.1:9100 (client mode)")
 	fs.DurationVar(&sf.Heartbeat, "heartbeat", DefaultHeartbeatInterval, "session heartbeat interval")
 	fs.DurationVar(&sf.SessionTimeout, "session-timeout", DefaultSessionTimeout, "evict a session silent for this long")
+	fs.StringVar(&sf.Transport, "transport", TransportUDP, "session transport: udp (datagrams) or tcp (length-prefixed stream)")
+	fs.StringVar(&sf.Admission, "admission", "reject", "gateway session-overflow policy: reject, queue or spill")
+	fs.IntVar(&sf.FrameCapacity, "frame-capacity", 0, "tags per TDMA frame group (0 = tone-table capacity)")
+	fs.DurationVar(&sf.FrameTimeout, "frame-timeout", 0, "per-frame-group round barrier timeout (0 = round timeout)")
 	return sf
 }
 

@@ -5,31 +5,44 @@ import (
 	"testing"
 )
 
-// TestServiceFlagParity pins that both binaries' FlagSets (each built
-// through RegisterServiceFlags, as biscatter-radar and biscatter-tag do)
-// expose identical shared flags: same names, defaults and usage.
+// TestServiceFlagParity pins that all three binaries' FlagSets (each built
+// through RegisterServiceFlags, as biscatter-radar, biscatter-tag and
+// biscatter-sim do) expose identical shared flags: same names, defaults
+// and usage — including the transport, admission and frame-scheduling
+// flags the scaled gateway added.
 func TestServiceFlagParity(t *testing.T) {
-	radar := flag.NewFlagSet("biscatter-radar", flag.ContinueOnError)
-	tag := flag.NewFlagSet("biscatter-tag", flag.ContinueOnError)
-	RegisterServiceFlags(radar)
-	RegisterServiceFlags(tag)
-	RegisterNetFaultFlags(radar)
-	RegisterNetFaultFlags(tag)
+	sets := map[string]*flag.FlagSet{
+		"biscatter-radar": flag.NewFlagSet("biscatter-radar", flag.ContinueOnError),
+		"biscatter-tag":   flag.NewFlagSet("biscatter-tag", flag.ContinueOnError),
+		"biscatter-sim":   flag.NewFlagSet("biscatter-sim", flag.ContinueOnError),
+	}
+	for _, fs := range sets {
+		RegisterServiceFlags(fs)
+		RegisterNetFaultFlags(fs)
+	}
+	ref := sets["biscatter-radar"]
 
 	for _, name := range []string{
 		"listen", "connect", "heartbeat", "session-timeout",
+		"transport", "admission", "frame-capacity", "frame-timeout",
 		"net-seed", "net-drop", "net-duplicate", "net-reorder",
 		"net-corrupt", "net-delay", "net-max-delay",
 	} {
-		rf, tf := radar.Lookup(name), tag.Lookup(name)
-		if rf == nil || tf == nil {
-			t.Fatalf("flag -%s missing (radar=%v tag=%v)", name, rf != nil, tf != nil)
+		rf := ref.Lookup(name)
+		if rf == nil {
+			t.Fatalf("flag -%s missing from reference set", name)
 		}
-		if rf.DefValue != tf.DefValue {
-			t.Errorf("-%s default differs: radar %q, tag %q", name, rf.DefValue, tf.DefValue)
-		}
-		if rf.Usage != tf.Usage {
-			t.Errorf("-%s usage differs: radar %q, tag %q", name, rf.Usage, tf.Usage)
+		for bin, fs := range sets {
+			f := fs.Lookup(name)
+			if f == nil {
+				t.Fatalf("flag -%s missing from %s", name, bin)
+			}
+			if f.DefValue != rf.DefValue {
+				t.Errorf("-%s default differs: %s %q, reference %q", name, bin, f.DefValue, rf.DefValue)
+			}
+			if f.Usage != rf.Usage {
+				t.Errorf("-%s usage differs: %s %q, reference %q", name, bin, f.Usage, rf.Usage)
+			}
 		}
 	}
 }
@@ -38,13 +51,45 @@ func TestServiceFlagParity(t *testing.T) {
 func TestServiceFlagParsing(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	sf := RegisterServiceFlags(fs)
-	if err := fs.Parse([]string{"-listen", "127.0.0.1:9100", "-heartbeat", "150ms", "-session-timeout", "3s"}); err != nil {
+	if err := fs.Parse([]string{
+		"-listen", "127.0.0.1:9100", "-heartbeat", "150ms", "-session-timeout", "3s",
+		"-transport", "tcp", "-admission", "spill", "-frame-capacity", "4", "-frame-timeout", "500ms",
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if sf.Listen != "127.0.0.1:9100" || sf.Heartbeat.String() != "150ms" || sf.SessionTimeout.String() != "3s" {
 		t.Fatalf("parsed %+v", sf)
 	}
+	if sf.Transport != TransportTCP || sf.Admission != "spill" || sf.FrameCapacity != 4 || sf.FrameTimeout.String() != "500ms" {
+		t.Fatalf("parsed %+v", sf)
+	}
 	if sf.Connect != "" {
 		t.Fatalf("connect default should be empty, got %q", sf.Connect)
+	}
+	if p, err := ParseAdmissionPolicy(sf.Admission); err != nil || p != AdmitSpill {
+		t.Fatalf("ParseAdmissionPolicy(%q) = %v, %v", sf.Admission, p, err)
+	}
+}
+
+// TestServiceFlagDefaults pins that a default parse yields the UDP
+// transport and the reject admission policy — the pre-scaling behavior.
+func TestServiceFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	sf := RegisterServiceFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sf.Transport != TransportUDP {
+		t.Fatalf("default transport %q, want %q", sf.Transport, TransportUDP)
+	}
+	p, err := ParseAdmissionPolicy(sf.Admission)
+	if err != nil || p != AdmitReject {
+		t.Fatalf("default admission %q → %v, %v", sf.Admission, p, err)
+	}
+	if sf.FrameCapacity != 0 || sf.FrameTimeout != 0 {
+		t.Fatalf("frame defaults %+v", sf)
+	}
+	if _, err := ParseAdmissionPolicy("bogus"); err == nil {
+		t.Fatal("ParseAdmissionPolicy accepted bogus policy")
 	}
 }

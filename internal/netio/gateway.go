@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"biscatter/internal/mac"
 	"biscatter/internal/telemetry"
 )
 
@@ -31,6 +33,52 @@ const (
 	DefaultPoll              = 20 * time.Millisecond
 )
 
+// AdmissionPolicy decides what happens to a new tag's Hello when the
+// gateway is at session capacity.
+type AdmissionPolicy uint8
+
+// Admission policies.
+const (
+	// AdmitReject answers HelloRejectFull: the tag is turned away.
+	AdmitReject AdmissionPolicy = iota
+	// AdmitQueue answers HelloQueued and parks the tag in a FIFO wait
+	// queue; its Hello retries re-test admission as sessions depart.
+	AdmitQueue
+	// AdmitSpill admits the tag anyway, assigning it to an overflow TDMA
+	// frame group past the schedule's planned groups — capacity grows by
+	// another frame per spill-group's worth of tags at the cost of cycle
+	// latency.
+	AdmitSpill
+)
+
+// String implements fmt.Stringer.
+func (p AdmissionPolicy) String() string {
+	switch p {
+	case AdmitReject:
+		return "reject"
+	case AdmitQueue:
+		return "queue"
+	case AdmitSpill:
+		return "spill"
+	default:
+		return fmt.Sprintf("AdmissionPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseAdmissionPolicy parses an -admission flag value.
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "reject":
+		return AdmitReject, nil
+	case "queue":
+		return AdmitQueue, nil
+	case "spill":
+		return AdmitSpill, nil
+	default:
+		return 0, fmt.Errorf("netio: unknown admission policy %q (want reject, queue or spill)", s)
+	}
+}
+
 // GatewayConfig parameterizes a Gateway. The zero value is usable: every
 // field has a default.
 type GatewayConfig struct {
@@ -51,6 +99,30 @@ type GatewayConfig struct {
 	// RoundTimeout runs a partially-submitted round this long after its
 	// first submission instead of waiting for stragglers forever.
 	RoundTimeout time.Duration
+	// Schedule, when set, makes the gateway schedule-aware: sessions are
+	// admitted into the schedule's TDMA frame groups (tag ID 1+i maps to
+	// the schedule's tag index i unless GroupOf overrides it), the round
+	// barrier is evaluated per frame group, and — with a matching
+	// core.Config.Schedule on the handler side — each round runs as an
+	// ExchangeScheduled cycle with tone-pair reuse across groups. Build one
+	// with mac.NewFrameSchedule or derive capacity from the slow-time tone
+	// budget with mac.ScheduleFor.
+	Schedule *mac.FrameSchedule
+	// GroupOf overrides the tag → frame-group mapping (e.g. a multi-network
+	// GatewayMux numbers groups across networks). Unknown tags return -1
+	// and land in group 0. Called only from the supervision goroutine.
+	GroupOf func(tagID uint8) int
+	// MaxSessions caps concurrent sessions; at capacity a new tag's Hello
+	// goes through the Admission policy. 0 means Schedule.NTags() when a
+	// Schedule is set, otherwise unlimited.
+	MaxSessions int
+	// Admission is the session-overflow policy (default AdmitReject).
+	Admission AdmissionPolicy
+	// FrameTimeout is the per-frame-group barrier timeout: a group whose
+	// first submission is this old stops waiting for its stragglers even
+	// though RoundTimeout has not passed globally (default RoundTimeout,
+	// which degenerates to the unscheduled all-active barrier).
+	FrameTimeout time.Duration
 	// QueueDepth bounds each session's send queue.
 	QueueDepth int
 	// SendTimeout is the reject-or-wait backpressure knob (mirroring
@@ -91,6 +163,12 @@ func (c *GatewayConfig) applyDefaults() {
 	}
 	if c.RoundTimeout <= 0 {
 		c.RoundTimeout = DefaultRoundTimeout
+	}
+	if c.FrameTimeout <= 0 {
+		c.FrameTimeout = c.RoundTimeout
+	}
+	if c.MaxSessions <= 0 && c.Schedule != nil {
+		c.MaxSessions = c.Schedule.NTags()
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = DefaultQueueDepth
@@ -147,6 +225,11 @@ type session struct {
 
 	lastSeq uint64
 
+	// group is the session's TDMA frame group, assigned at admission (and
+	// re-derived on replace, so a tag whose assignment changed between
+	// attempts lands in its new group while keeping the round cursor).
+	group int
+
 	breaker breakerState
 	misses  int
 
@@ -179,6 +262,14 @@ type Gateway struct {
 	firstSubmit time.Time // zero when no pending submission
 	roundsDone  time.Time // zero until cfg.Rounds rounds served
 
+	// groupFirst tracks, per frame group, when the current round's first
+	// submission from that group arrived — the per-group barrier clock.
+	groupFirst map[int]time.Time
+
+	// waiters is the AdmitQueue FIFO: tags parked at capacity, in arrival
+	// order, each stamped with its last Hello so dead waiters expire.
+	waiters []admWaiter
+
 	// telemetry
 	gSessions                           *telemetry.Gauge
 	cAccepted, cResumed, cReplaced      *telemetry.Counter
@@ -186,13 +277,26 @@ type Gateway struct {
 	cRounds, cRetries, cOutOfOrder      *telemetry.Counter
 	cBreakerOpen, cBreakerClose         *telemetry.Counter
 	cSendRejected, cExchangeErr, cHello *telemetry.Counter
+	cAdmAdmitted, cAdmRejected          *telemetry.Counter
+	cAdmQueued, cAdmSpilled             *telemetry.Counter
+	gAdmWaiting                         *telemetry.Gauge
 	hRTT                                *telemetry.Histogram
+}
+
+// admWaiter is one queued tag awaiting admission.
+type admWaiter struct {
+	tagID uint8
+	seen  time.Time
 }
 
 // NewGateway builds a Gateway serving fn over conn. Run starts it.
 func NewGateway(conn Conn, cfg GatewayConfig, fn ExchangeFunc) *Gateway {
 	cfg.applyDefaults()
-	g := &Gateway{conn: conn, cfg: cfg, fn: fn, sessions: make(map[uint8]*session)}
+	g := &Gateway{
+		conn: conn, cfg: cfg, fn: fn,
+		sessions:   make(map[uint8]*session),
+		groupFirst: make(map[int]time.Time),
+	}
 	if m := cfg.Metrics; m != nil {
 		g.gSessions = m.Gauge("netio.sessions")
 		g.cHello = m.Counter("netio.hello")
@@ -209,6 +313,11 @@ func NewGateway(conn Conn, cfg GatewayConfig, fn ExchangeFunc) *Gateway {
 		g.cBreakerClose = m.Counter("netio.breaker.close")
 		g.cSendRejected = m.Counter("netio.send.rejected")
 		g.cExchangeErr = m.Counter("netio.exchange.errors")
+		g.cAdmAdmitted = m.Counter("netio.admission.admitted")
+		g.cAdmRejected = m.Counter("netio.admission.rejected")
+		g.cAdmQueued = m.Counter("netio.admission.queued")
+		g.cAdmSpilled = m.Counter("netio.admission.spilled")
+		g.gAdmWaiting = m.Gauge("netio.admission.waiting")
 		g.hRTT = m.Histogram("netio.heartbeat.rtt_seconds")
 	}
 	return g
@@ -313,13 +422,21 @@ func (g *Gateway) onHello(now time.Time, h *Hello, from *net.UDPAddr) {
 		s.addr.Store(from)
 		g.cResumed.Inc()
 	case ok:
-		// Same tag, unknown/zero session: replace the stale session.
+		// Same tag, unknown/zero session: replace the stale session. The
+		// frame group is re-derived, so an assignment that changed while
+		// the tag was away takes effect here — while the round cursor in
+		// the ack below still resumes the tag at the gateway's next round.
 		code = HelloResume
 		g.dropSession(s)
 		s = g.newSession(h.TagID, from)
+		s.group = g.groupOf(h.TagID)
 		g.cReplaced.Inc()
 	default:
-		s = g.newSession(h.TagID, from)
+		ns, admitted := g.admit(now, h.TagID, from)
+		if !admitted {
+			return
+		}
+		s = ns
 		g.cAccepted.Inc()
 	}
 	s.seen = now
@@ -333,6 +450,129 @@ func (g *Gateway) onHello(now time.Time, h *Hello, from *net.UDPAddr) {
 		HeartbeatMillis:      uint32(g.cfg.HeartbeatInterval / time.Millisecond),
 		SessionTimeoutMillis: uint32(g.cfg.SessionTimeout / time.Millisecond),
 	})
+}
+
+// admit applies session capacity and the admission policy to a new tag's
+// Hello. It returns the created session, or (nil, false) when the tag was
+// rejected or queued (both already answered).
+func (g *Gateway) admit(now time.Time, tagID uint8, from *net.UDPAddr) (*session, bool) {
+	limit := g.cfg.MaxSessions
+	if limit <= 0 || len(g.sessions)+g.queueAhead(tagID) < limit {
+		// Room for this tag and for everyone queued ahead of it (FIFO
+		// fairness: a latecomer never jumps the wait queue).
+		g.unqueue(tagID)
+		s := g.newSession(tagID, from)
+		s.group = g.groupOf(tagID)
+		g.cAdmAdmitted.Inc()
+		return s, true
+	}
+	switch g.cfg.Admission {
+	case AdmitQueue:
+		g.enqueueWaiter(now, tagID, from)
+		return nil, false
+	case AdmitSpill:
+		s := g.newSession(tagID, from)
+		s.group = g.spillGroup()
+		g.cAdmAdmitted.Inc()
+		g.cAdmSpilled.Inc()
+		g.logf("gateway: tag %d spilled to overflow frame group %d", tagID, s.group)
+		return s, true
+	default: // AdmitReject
+		g.cAdmRejected.Inc()
+		g.cRejected.Inc()
+		g.logf("gateway: tag %d rejected at capacity (%d sessions)", tagID, limit)
+		g.sendDirect(from, &HelloAck{
+			Code:   HelloRejectFull,
+			Reason: fmt.Sprintf("the gateway is at capacity (%d sessions)", limit),
+		})
+		return nil, false
+	}
+}
+
+// queueAhead counts admission waiters ahead of tagID (all of them when the
+// tag is not queued yet).
+func (g *Gateway) queueAhead(tagID uint8) int {
+	for i, w := range g.waiters {
+		if w.tagID == tagID {
+			return i
+		}
+	}
+	return len(g.waiters)
+}
+
+// enqueueWaiter parks (or refreshes) a tag in the admission wait queue and
+// answers HelloQueued — not a rejection: the client's handshake retries
+// re-test admission as sessions depart, draining the queue in FIFO order.
+func (g *Gateway) enqueueWaiter(now time.Time, tagID uint8, from *net.UDPAddr) {
+	pos := -1
+	for i := range g.waiters {
+		if g.waiters[i].tagID == tagID {
+			g.waiters[i].seen = now
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		g.waiters = append(g.waiters, admWaiter{tagID: tagID, seen: now})
+		pos = len(g.waiters) - 1
+		g.cAdmQueued.Inc()
+		g.gAdmWaiting.Set(float64(len(g.waiters)))
+		g.logf("gateway: tag %d queued for admission at position %d", tagID, pos)
+	}
+	g.sendDirect(from, &HelloAck{
+		Code:   HelloQueued,
+		Reason: fmt.Sprintf("the gateway is at capacity; queued at position %d", pos),
+	})
+}
+
+// unqueue removes a tag from the admission wait queue, if present.
+func (g *Gateway) unqueue(tagID uint8) {
+	for i, w := range g.waiters {
+		if w.tagID == tagID {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			g.gAdmWaiting.Set(float64(len(g.waiters)))
+			return
+		}
+	}
+}
+
+// groupOf derives a tag's frame group from the configured mapping (GroupOf
+// override first, then the schedule's tag-index convention). Unknown tags
+// fall into group 0 — their submissions still barrier somewhere, and the
+// handler answers them with an unknown-tag outcome.
+func (g *Gateway) groupOf(tagID uint8) int {
+	gid := 0
+	switch {
+	case g.cfg.GroupOf != nil:
+		gid = g.cfg.GroupOf(tagID)
+	case g.cfg.Schedule != nil:
+		gid = g.cfg.Schedule.GroupOf(int(tagID) - 1)
+	}
+	if gid < 0 {
+		gid = 0
+	}
+	return gid
+}
+
+// spillGroup picks the overflow frame group for a spilled session: the
+// first group at or past the schedule's planned cycle with a free tone
+// slot, so spilled tags pack into as few extra frames as possible.
+func (g *Gateway) spillGroup() int {
+	base, width := 1, len(g.sessions)+1
+	if s := g.cfg.Schedule; s != nil {
+		base, width = s.Frames(), s.Capacity()
+	}
+	counts := make(map[int]int)
+	for _, s := range g.sessions {
+		if s.group >= base {
+			counts[s.group]++
+		}
+	}
+	for gid := base; ; gid++ {
+		if counts[gid] < width {
+			return gid
+		}
+	}
 }
 
 func (g *Gateway) newSession(tagID uint8, from *net.UDPAddr) *session {
@@ -482,6 +722,9 @@ func (g *Gateway) onSubmit(now time.Time, sub *SubmitRound, from *net.UDPAddr) {
 		if g.firstSubmit.IsZero() {
 			g.firstSubmit = now
 		}
+		if _, ok := g.groupFirst[s.group]; !ok {
+			g.groupFirst[s.group] = now
+		}
 		if s.breaker == breakerOpen {
 			// The quarantined tag is answering again: this submission is
 			// the half-open probe.
@@ -492,8 +735,11 @@ func (g *Gateway) onSubmit(now time.Time, sub *SubmitRound, from *net.UDPAddr) {
 }
 
 // maybeRunRound runs the current round when the barrier is met: at least
-// one submission, and either every non-quarantined session has submitted or
-// RoundTimeout has passed since the first submission.
+// one submission, and either every frame group's barrier is satisfied or
+// RoundTimeout has passed since the round's first submission (the global
+// backstop). On an unscheduled gateway every session is in group 0 and
+// FrameTimeout defaults to RoundTimeout, so this degenerates to the
+// original all-active barrier.
 func (g *Gateway) maybeRunRound(now time.Time) {
 	if g.cfg.Rounds > 0 && g.round >= g.cfg.Rounds {
 		return
@@ -504,16 +750,28 @@ func (g *Gateway) maybeRunRound(now time.Time) {
 	if g.round == 0 && len(g.sessions) < g.cfg.MinSessions {
 		return
 	}
-	waiting := 0
-	for _, s := range g.sessions {
-		if s.breaker != breakerOpen && !s.hasPending {
-			waiting++
-		}
-	}
-	if waiting > 0 && now.Sub(g.firstSubmit) < g.cfg.RoundTimeout {
+	if now.Sub(g.firstSubmit) < g.cfg.RoundTimeout && !g.groupsReady(now) {
 		return
 	}
 	g.runRound()
+}
+
+// groupsReady evaluates the round barrier per frame group: a waiting
+// (non-quarantined, not-yet-submitted) session blocks the round only until
+// its group's FrameTimeout elapses, measured from that group's own first
+// submission. A group whose members are all silent never starts its clock;
+// the global RoundTimeout in maybeRunRound covers it.
+func (g *Gateway) groupsReady(now time.Time) bool {
+	for _, s := range g.sessions {
+		if s.breaker == breakerOpen || s.hasPending {
+			continue
+		}
+		first, ok := g.groupFirst[s.group]
+		if !ok || now.Sub(first) < g.cfg.FrameTimeout {
+			return false
+		}
+	}
+	return true
 }
 
 func (g *Gateway) runRound() {
@@ -528,6 +786,7 @@ func (g *Gateway) runRound() {
 		// Every submitter was evicted before the barrier fired; there is
 		// no round to run.
 		g.firstSubmit = time.Time{}
+		clear(g.groupFirst)
 		return
 	}
 	outcomes, err := g.fn(round, bits)
@@ -573,6 +832,7 @@ func (g *Gateway) runRound() {
 	}
 	g.round++
 	g.firstSubmit = time.Time{}
+	clear(g.groupFirst)
 	g.logf("gateway: round %d served (%d tags)", round, len(bits))
 }
 
@@ -609,8 +869,18 @@ func (g *Gateway) cacheResult(s *session, rr *RoundResult) {
 }
 
 // evictExpired removes sessions whose liveness deadline passed, notifying
-// the client so it can re-handshake.
+// the client so it can re-handshake, and expires admission waiters that
+// stopped retrying (a dead waiter must not block the FIFO queue).
 func (g *Gateway) evictExpired(now time.Time) {
+	for i := 0; i < len(g.waiters); {
+		if now.Sub(g.waiters[i].seen) > g.cfg.SessionTimeout {
+			g.logf("gateway: dropping stale admission waiter tag %d", g.waiters[i].tagID)
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			g.gAdmWaiting.Set(float64(len(g.waiters)))
+			continue
+		}
+		i++
+	}
 	for _, s := range g.sessions {
 		if now.Sub(s.seen) <= g.cfg.SessionTimeout {
 			continue

@@ -1,0 +1,7 @@
+//go:build !race
+
+package netio_test
+
+// raceEnabled reports whether this binary was built with -race; see
+// race_on_test.go for why the scaled chaos run needs to know.
+const raceEnabled = false

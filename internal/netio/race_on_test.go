@@ -1,0 +1,10 @@
+//go:build race
+
+package netio_test
+
+// raceEnabled reports whether this binary was built with -race. The scaled
+// chaos run skips under the race detector: its barrier timeouts are
+// wall-clock budgets for handshake stragglers, and the detector's slowdown
+// turns them into false evictions. The same code paths run race-checked at
+// 4 tags in TestChaosConformance.
+const raceEnabled = true

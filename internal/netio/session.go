@@ -228,6 +228,10 @@ const (
 	HelloRejectVersion HelloCode = 2
 	// HelloRejectFull: the gateway is at capacity.
 	HelloRejectFull HelloCode = 3
+	// HelloQueued: the gateway is at capacity but parked the tag in its
+	// admission wait queue (AdmitQueue policy); the client should keep
+	// retrying the handshake — not a rejection.
+	HelloQueued HelloCode = 4
 )
 
 // String implements fmt.Stringer.
@@ -241,6 +245,8 @@ func (c HelloCode) String() string {
 		return "reject-version"
 	case HelloRejectFull:
 		return "reject-full"
+	case HelloQueued:
+		return "queued"
 	default:
 		return fmt.Sprintf("HelloCode(%d)", uint8(c))
 	}

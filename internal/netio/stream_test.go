@@ -1,0 +1,152 @@
+package netio
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestListenTransportSelects pins the transport registry: "", udp and tcp
+// resolve; anything else is an explicit configuration error.
+func TestListenTransportSelects(t *testing.T) {
+	for _, kind := range []string{"", TransportUDP, TransportTCP} {
+		n, err := ListenTransport(kind, "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ListenTransport(%q): %v", kind, err)
+		}
+		n.Close()
+	}
+	if _, err := ListenTransport("sctp", "127.0.0.1:0"); err == nil {
+		t.Fatal("ListenTransport accepted an unknown transport")
+	}
+}
+
+// TestStreamRoundTrip exchanges messages both ways over the length-prefixed
+// TCP transport, including the auto-dial path (a node that has never
+// accepted a connection can still Send first).
+func TestStreamRoundTrip(t *testing.T) {
+	a, err := ListenTransport(TransportTCP, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTransport(TransportTCP, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := a.Send(b.Addr(), &Goodbye{SessionID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		m, from, err := b.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, ok := m.(*Goodbye)
+		if !ok || gb.SessionID != uint64(i) {
+			t.Fatalf("round %d: got %#v", i, m)
+		}
+		// Reply over the same (accepted) connection.
+		if err := b.Send(from, &Goodbye{SessionID: uint64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+		m, _, err = a.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gb, ok := m.(*Goodbye); !ok || gb.SessionID != uint64(100+i) {
+			t.Fatalf("round %d reply: got %#v", i, m)
+		}
+	}
+}
+
+// TestStreamSentinels pins that the stream transport maps onto the same
+// error vocabulary as UDP: deadline expiry is ErrTimeout, closure is
+// ErrClosed, and the two never alias.
+func TestStreamSentinels(t *testing.T) {
+	n, err := ListenTransport(TransportTCP, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = n.Recv(20 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) || errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := n.Recv(2 * time.Second)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	n.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) || errors.Is(err, ErrTimeout) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not return after Close")
+	}
+}
+
+// TestStreamFaultInjection runs the deterministic fault injector above the
+// stream framing: datagrams vanish, but framing never desyncs, so the
+// survivors still decode.
+func TestStreamFaultInjection(t *testing.T) {
+	lossy, err := ListenTransport(TransportTCP, "127.0.0.1:0",
+		WithNetFaults(&NetFaultProfile{Seed: 11, Drop: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossy.Close()
+	sink, err := ListenTransport(TransportTCP, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := lossy.Send(sink.Addr(), &Goodbye{SessionID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for {
+		_, _, err := sink.Recv(200 * time.Millisecond)
+		if errors.Is(err, ErrTimeout) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	if got == 0 || got >= n {
+		t.Fatalf("received %d of %d, want a strict lossy subset", got, n)
+	}
+}
+
+// TestListenAddrInUse pins the satellite: binding a busy address surfaces
+// the ErrAddrInUse sentinel — on both transports — so a serve loop can
+// return cleanly instead of crashing on an opaque syscall error.
+func TestListenAddrInUse(t *testing.T) {
+	for _, kind := range []string{TransportUDP, TransportTCP} {
+		t.Run(kind, func(t *testing.T) {
+			first, err := ListenTransport(kind, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer first.Close()
+			busy := fmt.Sprintf("127.0.0.1:%d", first.Addr().Port)
+			_, err = ListenTransport(kind, busy)
+			if !errors.Is(err, ErrAddrInUse) {
+				t.Fatalf("ListenTransport(%q, %s) = %v, want ErrAddrInUse", kind, busy, err)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"syscall"
 	"time"
 
 	"biscatter/internal/telemetry"
@@ -18,6 +19,19 @@ var (
 	ErrTimeout = errors.New("netio: receive timeout")
 	// ErrClosed means the underlying socket is closed.
 	ErrClosed = errors.New("netio: connection closed")
+	// ErrAddrInUse means the listen address is already bound by another
+	// process. Matched with errors.Is so a server can return a clean
+	// "another gateway is running" diagnosis instead of an opaque bind
+	// error.
+	ErrAddrInUse = errors.New("netio: listen address already in use")
+)
+
+// Transport kinds selectable by ListenTransport (and the -transport flag).
+const (
+	// TransportUDP is one datagram per message (the default).
+	TransportUDP = "udp"
+	// TransportTCP is length-prefixed frames over TCP streams.
+	TransportTCP = "tcp"
 )
 
 // Conn is the message-level endpoint the session layer (Gateway, Client)
@@ -95,9 +109,36 @@ func Listen(addr string, opts ...Option) (*Node, error) {
 	}
 	conn, err := net.ListenUDP("udp", ua)
 	if err != nil {
-		return nil, fmt.Errorf("netio: listen %q: %w", addr, err)
+		return nil, wrapListenErr(addr, err)
 	}
-	n := &Node{tr: udpTransport{conn}, buf: make([]byte, 65536)}
+	return newNode(udpTransport{conn}, opts...), nil
+}
+
+// ListenTransport opens an endpoint of the named transport kind on addr:
+// TransportUDP ("" defaults to it) for one datagram per message,
+// TransportTCP for length-prefixed frames over streams. Both return the
+// same *Node surface, so everything above the Transport seam — fault
+// injection, session supervision, the chaos suite — runs unchanged on
+// either.
+func ListenTransport(kind, addr string, opts ...Option) (*Node, error) {
+	switch kind {
+	case "", TransportUDP:
+		return Listen(addr, opts...)
+	case TransportTCP:
+		tr, err := listenStream(addr)
+		if err != nil {
+			return nil, err
+		}
+		return newNode(tr, opts...), nil
+	default:
+		return nil, fmt.Errorf("netio: unknown transport %q (want %s or %s)", kind, TransportUDP, TransportTCP)
+	}
+}
+
+// newNode assembles a Node over a raw transport, applying options and
+// wrapping the fault injector innermost of the options.
+func newNode(tr Transport, opts ...Option) *Node {
+	n := &Node{tr: tr, buf: make([]byte, 65536)}
 	for _, opt := range opts {
 		opt(n)
 	}
@@ -107,7 +148,16 @@ func Listen(addr string, opts ...Option) (*Node, error) {
 	if n.faults != nil {
 		n.tr = newFaultTransport(n.tr, *n.faults, n.metrics)
 	}
-	return n, nil
+	return n
+}
+
+// wrapListenErr tags an address-in-use bind failure with the ErrAddrInUse
+// sentinel while keeping the original error text.
+func wrapListenErr(addr string, err error) error {
+	if errors.Is(err, syscall.EADDRINUSE) {
+		return fmt.Errorf("netio: listen %q: %w: %v", addr, ErrAddrInUse, err)
+	}
+	return fmt.Errorf("netio: listen %q: %w", addr, err)
 }
 
 // Addr returns the node's bound address.

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Runs BenchmarkGateway (8 TDMA-scheduled sessions over 2 frame groups, one
+# loopback gateway per transport, exchange stubbed to an echo) and records
+# the serving-layer round rate into BENCH_gateway.json at the repo root:
+# barrier rounds/sec and per-session results/sec for the UDP datagram and
+# TCP length-prefixed stream transports.
+#
+# The exchange is stubbed so the numbers isolate the netio layer — session
+# supervision, frame-group barrier, wire round-trips — from the physics the
+# fleet bench measures. Usage:
+#
+#   scripts/bench_gateway.sh [benchtime]    # default 50x
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-50x}"
+out=BENCH_gateway.json
+
+raw="$(go test -run '^$' -bench 'BenchmarkGateway$' -benchtime "$benchtime" -benchmem .)"
+echo "$raw"
+
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+goversion="$(go env GOVERSION)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# Lines look like:
+#   BenchmarkGateway/transport=udp-8  50  165513 ns/op  6042 rounds/sec  48335 results/sec  ...
+# (metric order can vary, so parse value/unit pairs instead of fixed columns).
+echo "$raw" | awk -v cores="$cores" -v gover="$goversion" -v date="$date_utc" '
+  /^BenchmarkGateway\/transport=/ {
+    split($1, parts, "=")
+    w = parts[2]; sub(/-[0-9]+$/, "", w)
+    n++; tr[n] = w
+    for (i = 3; i < NF; i += 2) {
+      if ($(i+1) == "ns/op") ns[n] = $i
+      else if ($(i+1) == "rounds/sec") rps[n] = $i
+      else if ($(i+1) == "results/sec") res[n] = $i
+      else if ($(i+1) == "B/op") bytes[n] = $i
+      else if ($(i+1) == "allocs/op") allocs[n] = $i
+    }
+  }
+  /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+  END {
+    if (n == 0) { print "bench_gateway.sh: no BenchmarkGateway results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"schema\": 1,\n"
+    printf "  \"benchmark\": \"BenchmarkGateway\",\n"
+    printf "  \"scenario\": \"8 sessions in 2 TDMA frame groups on one loopback gateway, echo exchange, per stream transport\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cpu_cores\": %d,\n", cores
+    printf "  \"note\": \"rounds_per_sec is full-barrier scheduled cycles (all 8 sessions answered); results_per_sec is per-session round results. The exchange is an echo stub, so this is the netio serving-layer ceiling, not end-to-end physics throughput.\",\n"
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) {
+      # %.0f, not %d: mawk printf clamps %d at 2^31-1 and these are ns counts.
+      printf "    {\"transport\": \"%s\", \"ns_per_op\": %.0f, \"rounds_per_sec\": %.2f, \"results_per_sec\": %.2f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
+        tr[i], ns[i], rps[i], res[i], bytes[i], allocs[i], (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+  }
+' > "$out"
+
+echo "wrote $out:"
+cat "$out"
